@@ -1,0 +1,73 @@
+"""Ablation — synchronous-RPC backpressure.
+
+DESIGN.md calls out the backpressure coupling as the mechanism that
+makes "longest queue" a symptom rather than the culprit.  With the
+coupling disabled, a starved downstream tier no longer inflates
+upstream queues, and PowerChief's queue-chasing attribution becomes
+accurate; with it enabled, the blame lands upstream.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.apps import social_network
+from repro.harness.pipeline import app_spec
+from repro.harness.reporting import format_table
+from repro.sim.cluster import ClusterSimulator, LOCAL_PLATFORM
+from repro.sim.engine import EngineConfig
+from repro.workload.generator import Workload
+from repro.workload.mixes import social_mix
+from repro.workload.patterns import ConstantLoad
+
+
+def _starved_run(backpressure: bool):
+    graph = social_network()
+    config = EngineConfig(backpressure=backpressure, rate_cv=0.0, spike_prob=0.0)
+    cluster = ClusterSimulator(
+        graph,
+        Workload(graph, ConstantLoad(400), social_mix()),
+        platform=LOCAL_PLATFORM,
+        seed=7,
+        engine_config=config,
+    )
+    alloc = cluster.clip_alloc(graph.max_alloc() * 0.6)
+    # Starve the true culprit: postStore.
+    culprit = graph.index["postStore"]
+    alloc[culprit] = 1.0
+    cluster.current_alloc = cluster.clip_alloc(alloc)
+    for _ in range(20):
+        stats = cluster.step()
+    queues = stats.queue
+    blamed = int(np.argmax(queues))
+    upstream_queue = float(
+        queues[graph.index["nginx"]]
+        + queues[graph.index["homeTimeline"]]
+        + queues[graph.index["userTimeline"]]
+    )
+    return {
+        "blamed_tier": graph.tier_names[blamed],
+        "culprit_queue": float(queues[culprit]),
+        "upstream_queue": upstream_queue,
+        "p99": stats.p99_ms,
+    }
+
+
+def test_ablation_backpressure(benchmark):
+    def experiment():
+        return _starved_run(True), _starved_run(False)
+
+    with_bp, without_bp = run_once(benchmark, experiment)
+    print()
+    print(format_table(
+        ["Backpressure", "Longest-queue tier", "Culprit queue", "Upstream queues", "p99 (ms)"],
+        [
+            ["on", with_bp["blamed_tier"], f"{with_bp['culprit_queue']:.0f}",
+             f"{with_bp['upstream_queue']:.0f}", f"{with_bp['p99']:.0f}"],
+            ["off", without_bp["blamed_tier"], f"{without_bp['culprit_queue']:.0f}",
+             f"{without_bp['upstream_queue']:.0f}", f"{without_bp['p99']:.0f}"],
+        ],
+        title="Backpressure ablation: starved postStore at 400 users",
+    ))
+    # With backpressure, upstream queues balloon; without it they stay
+    # far smaller relative to the culprit's own queue.
+    assert with_bp["upstream_queue"] > 5 * max(without_bp["upstream_queue"], 1.0)

@@ -1,0 +1,81 @@
+"""Ablation — the scaled loss (Eq. 2) vs plain MSE.
+
+The paper biases the squared loss toward the below-QoS range because
+plain MSE overfits the latency spikes and overestimates in the region
+the scheduler actually cares about.  We train the same CNN with both
+losses and compare RMSE restricted to the below-QoS region.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.harness.pipeline import app_spec, collect_training_data, resolve_budget
+from repro.harness.reporting import format_table
+from repro.ml.cnn import LatencyCNN
+from repro.ml.dataset import FeatureNormalizer
+from repro.ml.losses import LatencyScaler, MSELoss, ScaledMSELoss
+from repro.ml.metrics import rmse
+
+
+def test_ablation_scaled_loss(benchmark):
+    spec = app_spec("social_network")
+    budget = resolve_budget(None)
+    qos = spec.qos.latency_ms
+
+    def experiment():
+        graph = spec.graph_factory()
+        dataset = collect_training_data(graph, budget, seed=8)
+        dataset = dataset.filter_latency_below(2.4 * qos)
+        split = dataset.split(0.9, np.random.default_rng(8))
+        normalizer = FeatureNormalizer(qos).fit(split.train)
+        train = normalizer.transform_dataset(split.train)
+        val = normalizer.transform_dataset(split.val)
+        train_in = (train.X_RH, train.X_LH, train.X_RC)
+        val_in = (val.X_RH, val.X_LH, val.X_RC)
+
+        losses = {
+            "scaled (Eq. 2)": ScaledMSELoss(LatencyScaler(t=qos, alpha=1.0 / qos)),
+            "plain MSE": MSELoss(),
+        }
+        rows = []
+        below = val.y_lat[:, -1] <= qos
+        epochs = max(budget.epochs // 2, 10)
+        for name, loss in losses.items():
+            model = LatencyCNN(graph.n_tiers, seed=8)
+            model.fit(
+                train_in, train.y_lat, val_in, val.y_lat, loss=loss,
+                epochs=epochs, batch_size=budget.batch_size, lr=0.003, seed=8,
+            )
+            pred = model.predict(val_in)
+            rows.append({
+                "loss": name,
+                "rmse_below": rmse(pred[below], val.y_lat[below]),
+                "rmse_all": rmse(pred, val.y_lat),
+                "bias_below": float(np.mean(pred[below, -1] - val.y_lat[below, -1])),
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(
+        ["Loss", "Val RMSE below QoS", "Val RMSE all", "Bias below QoS"],
+        [
+            [r["loss"], f"{r['rmse_below']:.1f}", f"{r['rmse_all']:.1f}",
+             f"{r['bias_below']:+.1f}"]
+            for r in rows
+        ],
+        title="Scaled-loss ablation (Social Network, QoS region = below 500 ms)",
+    ))
+    by_name = {r["loss"]: r for r in rows}
+    # Shape: the scaled loss stays competitive in the QoS region and is
+    # not dragged off overall by the above-QoS spikes.  (With the
+    # timeout-plateau samples already filtered by the label cap, the two
+    # losses are close; the scaled loss's job is to keep it that way.)
+    assert (
+        by_name["scaled (Eq. 2)"]["rmse_below"]
+        <= by_name["plain MSE"]["rmse_below"] * 1.2
+    )
+    assert (
+        by_name["scaled (Eq. 2)"]["rmse_all"]
+        <= by_name["plain MSE"]["rmse_all"] * 1.1
+    )

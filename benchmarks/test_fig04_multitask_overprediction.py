@@ -1,0 +1,79 @@
+"""Figure 4 — the rejected multi-task NN overpredicts latency.
+
+A single network jointly trained to predict next-interval latency
+(unbounded) and QoS-violation probability (in [0, 1]) suffers from the
+semantic gap between the two objectives and overpredicts tail latency,
+which is why the paper splits the tasks across a CNN and Boosted Trees.
+We train the multi-task model on the same data as the hybrid and compare
+their latency bias on validation data.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.harness.pipeline import app_spec, collect_training_data, resolve_budget
+from repro.harness.reporting import format_table
+from repro.ml.dataset import FeatureNormalizer
+from repro.ml.multitask import MultiTaskNN
+
+
+def test_fig4_multitask_overprediction(benchmark, social_predictor):
+    spec = app_spec("social_network")
+    budget = resolve_budget(None)
+
+    def experiment():
+        graph = spec.graph_factory()
+        dataset = collect_training_data(graph, budget, seed=1)
+        # The joint model trains on the raw trace — spikes included —
+        # with plain MSE + BCE, exactly the paper's first attempt.  The
+        # hybrid's boundary-focused regression (scaled loss, boundary
+        # label cap) is the design that avoids the resulting bias.
+        split = dataset.split(0.9, np.random.default_rng(1))
+        normalizer = FeatureNormalizer(spec.qos.latency_ms).fit(split.train)
+        train = normalizer.transform_dataset(split.train)
+        train_in = (train.X_RH, train.X_LH, train.X_RC)
+
+        model = MultiTaskNN(graph.n_tiers, violation_weight=4.0, seed=1)
+        targets = model.pack_targets(train.y_lat, train.y_viol)
+        model.fit(
+            train_in, targets, loss=model.loss(),
+            epochs=max(budget.epochs // 2, 10),
+            batch_size=budget.batch_size, lr=0.003, seed=1,
+        )
+
+        # Both models evaluated on below-boundary validation windows
+        # (the region the scheduler operates in).
+        eval_set = split.val.filter_latency_below(2.4 * spec.qos.latency_ms)
+        eval_norm = normalizer.transform_dataset(eval_set)
+        val_in = (eval_norm.X_RH, eval_norm.X_LH, eval_norm.X_RC)
+        mt_pred = model.predict_latency(val_in)[:, -1]
+
+        hybrid_pred, _ = social_predictor.predict_raw(
+            eval_set.X_RH, eval_set.X_LH, eval_set.X_RC
+        )
+        truth = eval_set.y_lat[:, -1]
+        return {
+            "mt_bias": float(np.mean(mt_pred - truth)),
+            "hybrid_bias": float(np.mean(hybrid_pred[:, -1] - truth)),
+            "mt_mean_pred": float(np.mean(mt_pred)),
+            "truth_mean": float(np.mean(truth)),
+        }
+
+    row = run_once(benchmark, experiment)
+    print()
+    print(format_table(
+        ["Model", "Mean p99 bias (ms)"],
+        [
+            ["Multi-task NN", f"{row['mt_bias']:+.1f}"],
+            ["Hybrid (CNN+BT)", f"{row['hybrid_bias']:+.1f}"],
+        ],
+        title=(
+            "Figure 4: multi-task joint model vs two-stage hybrid "
+            f"(truth mean {row['truth_mean']:.0f} ms)"
+        ),
+    ))
+    # Paper shape: the joint model is biased upward relative to the
+    # hybrid in the QoS-relevant region (the spikes and the bounded
+    # violation head drag the shared representation).
+    assert row["mt_bias"] > row["hybrid_bias"]
+    assert abs(row["hybrid_bias"]) < abs(row["mt_bias"]) + 40.0

@@ -1,0 +1,38 @@
+"""Figure 7 — the latency scaling function phi (Eq. 2).
+
+Regenerates the three curves with t = 100 and alpha in
+{0.005, 0.01, 0.02}: identity below the knee, saturating decay above.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.harness.reporting import format_table
+from repro.ml.losses import LatencyScaler
+
+
+def test_fig7_scale_function(benchmark):
+    def experiment():
+        xs = np.array([0.0, 50.0, 100.0, 150.0, 200.0, 300.0])
+        rows = []
+        for alpha in (0.005, 0.01, 0.02):
+            scaler = LatencyScaler(t=100.0, alpha=alpha)
+            rows.append([alpha] + [f"{v:.1f}" for v in scaler.scale(xs)])
+        return xs, rows
+
+    xs, rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(
+        ["alpha"] + [f"x={x:g}" for x in xs],
+        rows,
+        title="Figure 7: phi(x) with t=100",
+    ))
+
+    # Shape assertions: identity below t, ordered compression above.
+    for alpha_row in rows:
+        assert float(alpha_row[1]) == 0.0
+        assert float(alpha_row[3]) == 100.0
+    above = [float(r[-1]) for r in rows]
+    assert above[0] > above[1] > above[2]
+    # Ceiling: alpha=0.02 saturates below t + 1/alpha = 150.
+    assert above[2] < 150.0

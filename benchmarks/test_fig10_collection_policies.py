@@ -1,0 +1,111 @@
+"""Figure 10 — autoscaling vs random data collection.
+
+Training on autoscaler-managed traces (few violations) makes the model
+underestimate latency near the boundary; random exploration makes it
+overestimate and block reclamation.  The bandit-collected model sits in
+between.  We train one hybrid model per collection scheme and compare
+their latency bias on a common bandit-collected evaluation slice (which
+covers the boundary).
+
+This bench doubles as the data-collection ablation called out in
+DESIGN.md.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.baselines.autoscale import AutoScale
+from repro.core.data_collection import (
+    AutoscaleCollectPolicy,
+    BanditExplorer,
+    CollectionConfig,
+    DataCollector,
+    RandomCollectPolicy,
+)
+from repro.core.predictor import HybridPredictor, PredictorConfig
+from repro.harness.pipeline import (
+    app_spec,
+    collection_loads,
+    make_cluster,
+    resolve_budget,
+)
+from repro.harness.reporting import format_table
+
+
+def test_fig10_collection_policies(benchmark):
+    spec = app_spec("social_network")
+    budget = resolve_budget(None)
+    graph = spec.graph_factory()
+    config = CollectionConfig(qos=spec.qos)
+
+    def experiment():
+        collector = DataCollector(
+            lambda users, seed: make_cluster(graph, users, seed), config
+        )
+        loads = collection_loads(spec, budget)
+        seconds = max(budget.seconds_per_load // 2, 60)
+
+        policies = {
+            "bandit": BanditExplorer(config, seed=3),
+            "autoscale": AutoscaleCollectPolicy(
+                AutoScale.opt(graph.min_alloc(), graph.max_alloc())
+            ),
+            "random": RandomCollectPolicy(seed=3),
+        }
+        datasets = {
+            name: collector.collect(policy, loads, seconds, seed=31).dataset
+            for name, policy in policies.items()
+        }
+        eval_set = datasets["bandit"].filter_latency_below(2.4 * spec.qos.latency_ms)
+
+        rows = []
+        for name, dataset in datasets.items():
+            predictor = HybridPredictor(
+                graph, spec.qos,
+                PredictorConfig(epochs=max(budget.epochs // 2, 10),
+                                batch_size=budget.batch_size),
+                seed=3,
+            )
+            try:
+                predictor.train(dataset)
+            except ValueError:
+                rows.append({"policy": name, "bias": float("nan"),
+                             "rmse": float("nan"),
+                             "viol_frac": dataset.violation_fraction()})
+                continue
+            lat, _ = predictor.predict_raw(
+                eval_set.X_RH, eval_set.X_LH, eval_set.X_RC
+            )
+            truth = eval_set.y_lat[:, -1]
+            rows.append({
+                "policy": name,
+                "bias": float(np.mean(lat[:, -1] - truth)),
+                "rmse": float(np.sqrt(np.mean((lat[:, -1] - truth) ** 2))),
+                "viol_frac": dataset.violation_fraction(),
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(
+        ["Collection", "Dataset viol. frac", "p99 bias (ms)", "p99 RMSE (ms)"],
+        [
+            [r["policy"], f"{r['viol_frac']:.3f}", f"{r['bias']:+.1f}",
+             f"{r['rmse']:.1f}"]
+            for r in rows
+        ],
+        title="Figure 10: prediction quality by collection scheme",
+    ))
+    by_name = {r["policy"]: r for r in rows}
+    # Autoscale-collected data sees far fewer violations than the bandit
+    # (it steers away from the boundary), and underestimates latency.
+    assert by_name["autoscale"]["viol_frac"] < by_name["bandit"]["viol_frac"]
+    assert by_name["autoscale"]["bias"] < 0
+    # Boundary-focused collection produces the most accurate and least
+    # biased boundary model (paper's joint-design takeaway).
+    assert by_name["bandit"]["rmse"] <= min(
+        by_name["autoscale"]["rmse"], by_name["random"]["rmse"]
+    ) * 1.05
+    assert abs(by_name["bandit"]["bias"]) <= min(
+        abs(by_name["autoscale"]["bias"]), abs(by_name["random"]["bias"])
+    ) + 5.0

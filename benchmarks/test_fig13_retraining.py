@@ -1,0 +1,82 @@
+"""Figure 13 — incremental retraining across deployment changes.
+
+Three scenarios from paper Section 5.4, each fine-tuning the original
+Social Network model on increasing amounts of newly collected data
+(at 1/100 the original learning rate) instead of retraining:
+
+1. new server platform (local cluster -> GCE),
+2. different replica count for all tiers except the databases,
+3. modified application (posts AES-encrypted before storage).
+
+The series to match in shape: the original model's error on the new
+deployment drops sharply within the first budget of new samples and
+converges with modest data.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import (
+    encrypted_posts_variant,
+    scaled_replicas_variant,
+    social_network,
+)
+from repro.core.retrain import fine_tune_predictor
+from repro.harness.pipeline import collect_training_data, resolve_budget
+from repro.harness.reporting import format_series
+from repro.sim.cluster import GCE_PLATFORM, LOCAL_PLATFORM
+
+
+def _scenario(name):
+    graph = social_network()
+    if name == "gce":
+        return graph, GCE_PLATFORM
+    if name == "replicas":
+        return scaled_replicas_variant(graph, replicas=2), LOCAL_PLATFORM
+    if name == "encrypted":
+        return encrypted_posts_variant(graph, cpu_scale=1.3), LOCAL_PLATFORM
+    raise ValueError(name)
+
+
+@pytest.mark.parametrize("scenario", ["gce", "replicas", "encrypted"])
+def test_fig13_incremental_retraining(benchmark, scenario, social_predictor):
+    budget = resolve_budget(None)
+
+    def experiment():
+        graph, platform = _scenario(scenario)
+        new_data = collect_training_data(
+            graph, budget, seed=53, platform=platform
+        )
+        pool = int(len(new_data) * 0.8)
+        counts = sorted({max(pool // 8, 8), max(pool // 3, 16), pool})
+        _, report = fine_tune_predictor(
+            social_predictor,
+            new_data,
+            sample_counts=counts,
+            scenario=scenario,
+            epochs=max(budget.epochs // 3, 4),
+            seed=53,
+        )
+        return report
+
+    report = run_once(benchmark, experiment)
+    print()
+    print(format_series(
+        f"Figure 13 [{scenario}]: val RMSE vs new samples "
+        f"(0 samples = original model: {report.base_rmse:.1f} ms)",
+        report.sample_counts,
+        report.val_rmse,
+        "# new samples", "val RMSE (ms)",
+    ))
+    print(format_series(
+        f"Figure 13 [{scenario}]: train RMSE",
+        report.sample_counts,
+        report.train_rmse,
+        "# new samples", "train RMSE (ms)",
+    ))
+
+    # Shape: fine-tuning with the full new-data budget improves on the
+    # un-tuned model, and train/val converge (no catastrophic overfit).
+    assert report.converged_rmse() < report.base_rmse * 1.02
+    final_gap = abs(report.val_rmse[-1] - report.train_rmse[-1])
+    assert final_gap < max(report.val_rmse[-1], 1.0) * 0.8

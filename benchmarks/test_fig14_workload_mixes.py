@@ -1,0 +1,67 @@
+"""Figure 14 — average CPU allocation under the four request mixes on GCE.
+
+Sinan (with the GCE fine-tuned model) manages the Social Network under
+the W0-W3 ComposePost:ReadHomeTimeline:ReadUserTimeline mixes across the
+load sweep.  Paper shape: W1 (most ComposePost, which triggers the
+compute-heavy ML filters) needs the most CPU; Sinan meets QoS on every
+mix, including the three mixes it was never trained on.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import episode_seconds, run_once, warmup_seconds
+from repro.core.sinan import SinanManager
+from repro.harness.experiment import run_episode
+from repro.harness.pipeline import app_spec, make_cluster
+from repro.harness.reporting import format_table
+from repro.sim.cluster import GCE_PLATFORM
+from repro.workload.mixes import SOCIAL_MIXES
+
+
+def test_fig14_workload_mixes(benchmark, gce_predictor):
+    spec = app_spec("social_network")
+    graph = spec.graph_factory()
+    loads = (150, 300, 450)
+
+    def experiment():
+        table = {}
+        for mix_name, mix in SOCIAL_MIXES.items():
+            series = []
+            for users in loads:
+                manager = SinanManager(gce_predictor, spec.qos, graph)
+                cluster = make_cluster(
+                    graph, users, seed=140 + users, mix=mix,
+                    platform=GCE_PLATFORM,
+                )
+                result = run_episode(
+                    manager, cluster, episode_seconds(), spec.qos,
+                    warmup_seconds(),
+                )
+                series.append(
+                    {"users": users, "cpu": result.mean_total_cpu,
+                     "qos": result.qos_fraction}
+                )
+            table[mix_name] = series
+        return table
+
+    table = run_once(benchmark, experiment)
+    print()
+    rows = []
+    for i, users in enumerate(loads):
+        row = [users]
+        for mix_name in ("W0", "W1", "W2", "W3"):
+            point = table[mix_name][i]
+            row.append(f"{point['cpu']:.0f} ({point['qos']:.2f})")
+        rows.append(row)
+    print(format_table(
+        ["Users", "W0 5:80:15", "W1 10:80:10", "W2 1:90:9", "W3 5:70:25"],
+        rows,
+        title="Figure 14 (GCE): mean CPU allocation (QoS fraction)",
+    ))
+
+    # Paper shape: all mixes meet QoS; W1 (compose-heavy) is the most
+    # expensive at the top load, W2 (read-heavy) among the cheapest.
+    for mix_name, series in table.items():
+        assert np.mean([p["qos"] for p in series]) > 0.92, mix_name
+    top = {name: series[-1]["cpu"] for name, series in table.items()}
+    assert top["W1"] >= top["W2"] * 0.98

@@ -1,0 +1,87 @@
+"""Table 2 — short-term latency model comparison: CNN vs MLP vs LSTM.
+
+For each application, the three architectures are trained on the same
+bandit-collected dataset with the same scaled loss, and we report
+train/validation RMSE, model size, and per-batch train+inference speed.
+The paper's finding to match in shape: the CNN achieves the lowest RMSE
+with the smallest model.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.pipeline import app_spec, collect_training_data, resolve_budget
+from repro.harness.reporting import format_table
+from repro.ml.dataset import FeatureNormalizer
+from repro.ml.losses import LatencyScaler, ScaledMSELoss
+from repro.ml.lstm import LatencyLSTM
+from repro.ml.metrics import rmse
+from repro.ml.mlp import LatencyMLP
+from repro.ml.cnn import LatencyCNN
+
+
+def _compare_models(app_name: str, seed: int = 0):
+    spec = app_spec(app_name)
+    budget = resolve_budget(None)
+    graph = spec.graph_factory()
+    dataset = collect_training_data(graph, budget, seed=seed)
+    dataset = dataset.filter_latency_below(2.4 * spec.qos.latency_ms)
+    split = dataset.split(0.9, np.random.default_rng(seed))
+    normalizer = FeatureNormalizer(spec.qos.latency_ms).fit(split.train)
+    train = normalizer.transform_dataset(split.train)
+    val = normalizer.transform_dataset(split.val)
+    train_in = (train.X_RH, train.X_LH, train.X_RC)
+    val_in = (val.X_RH, val.X_LH, val.X_RC)
+    loss = ScaledMSELoss(LatencyScaler(t=spec.qos.latency_ms, alpha=1.0 / spec.qos.latency_ms))
+
+    models = {
+        "MLP": LatencyMLP(graph.n_tiers, seed=seed),
+        "LSTM": LatencyLSTM(graph.n_tiers, seed=seed),
+        "CNN": LatencyCNN(graph.n_tiers, seed=seed),
+    }
+    rows = []
+    epochs = max(budget.epochs // 2, 10)
+    for name, model in models.items():
+        model.fit(
+            train_in, train.y_lat, val_in, val.y_lat,
+            loss=loss, epochs=epochs, batch_size=budget.batch_size,
+            lr=0.003, seed=seed,
+        )
+        # Timed batch: one forward+backward on a 256-sample batch.
+        batch = tuple(x[:256] for x in train_in)
+        t0 = time.perf_counter()
+        pred = model.forward_batch(batch, training=True)
+        model.backward_batch(np.ones_like(pred))
+        ms_per_batch = (time.perf_counter() - t0) * 1000
+        rows.append({
+            "model": name,
+            "train_rmse": rmse(model.predict(train_in), train.y_lat),
+            "val_rmse": rmse(model.predict(val_in), val.y_lat),
+            "size_kb": model.size_kb,
+            "ms_batch": ms_per_batch,
+        })
+    return rows
+
+
+@pytest.mark.parametrize("app_name", ["social_network", "hotel_reservation"])
+def test_tab2_latency_models(benchmark, app_name):
+    rows = run_once(benchmark, lambda: _compare_models(app_name))
+    print()
+    print(format_table(
+        ["Model", "Train RMSE (ms)", "Val RMSE (ms)", "Size (KB)", "ms/batch"],
+        [
+            [r["model"], f"{r['train_rmse']:.1f}", f"{r['val_rmse']:.1f}",
+             f"{r['size_kb']:.0f}", f"{r['ms_batch']:.1f}"]
+            for r in rows
+        ],
+        title=f"Table 2 ({app_name})",
+    ))
+    by_name = {r["model"]: r for r in rows}
+    # Paper shape: the CNN is the most accurate and smallest model.
+    assert by_name["CNN"]["val_rmse"] <= min(
+        by_name["MLP"]["val_rmse"], by_name["LSTM"]["val_rmse"]
+    ) * 1.1, "CNN should be (about) the most accurate"
+    assert by_name["CNN"]["size_kb"] < by_name["MLP"]["size_kb"]

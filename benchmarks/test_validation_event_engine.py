@@ -1,0 +1,84 @@
+"""Substrate validation — fluid engine vs per-request discrete-event
+simulation.
+
+Not a paper figure: this bench cross-checks the two independent
+implementations of the cluster physics.  For a sweep of allocations on
+the tiny validation app, both engines must agree on the latency regime
+(healthy / degraded / violating) even though their mechanics are
+completely different (fluid queues + synthesized sampling vs per-request
+FCFS event simulation).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.harness.reporting import format_table
+from repro.sim.engine import EngineConfig, QueueingEngine
+from repro.sim.event_engine import EventDrivenEngine, EventEngineConfig
+from tests.conftest import make_tiny_graph
+
+
+def test_validation_fluid_vs_event(benchmark):
+    graph = make_tiny_graph()
+    rates = np.array([150.0, 15.0])
+
+    def experiment():
+        rows = []
+        for level in (0.4, 1.0, 2.0, 4.0, 8.0):
+            alloc = np.full(graph.n_tiers, level)
+            event = EventDrivenEngine(graph, EventEngineConfig(), seed=9)
+            event_result = event.run(alloc, rates, 30.0)
+            series = event_result["p99_series_ms"]
+            event_p99 = float(np.median(series[series > 0])) if (series > 0).any() else 0.0
+
+            fluid = QueueingEngine(
+                graph,
+                EngineConfig(rate_cv=0.0, spike_prob=0.0, capacity_jitter=0.0),
+                seed=9,
+            )
+            fluid_p99 = float(np.median(
+                [fluid.run_interval(alloc, rates).p99_ms for _ in range(30)]
+            ))
+            rows.append({
+                "alloc": level,
+                "fluid": fluid_p99,
+                "event": event_p99,
+                "fluid_util": float(np.mean([
+                    s for s in [fluid.queue.sum()]
+                ])),
+            })
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(
+        ["Per-tier alloc", "Fluid p99 (ms)", "Event p99 (ms)", "Regime agreement"],
+        [
+            [f"{r['alloc']:.1f}", f"{r['fluid']:.0f}", f"{r['event']:.0f}",
+             "yes" if _same_regime(r) else "NO"]
+            for r in rows
+        ],
+        title="Fluid vs per-request event simulation (tiny app, 165 rps)",
+    ))
+    # Both engines classify each allocation into the same latency regime.
+    assert all(_same_regime(r) for r in rows)
+    # And both improve monotonically-ish with allocation (endpoints).
+    assert rows[-1]["fluid"] < rows[0]["fluid"]
+    assert rows[-1]["event"] < rows[0]["event"]
+
+
+def _regime(p99_ms: float) -> str:
+    if p99_ms < 200.0:
+        return "healthy"
+    if p99_ms < 1000.0:
+        return "degraded"
+    return "violating"
+
+
+def _same_regime(row) -> bool:
+    fluid, event = _regime(row["fluid"]), _regime(row["event"])
+    if fluid == event:
+        return True
+    # Near a regime boundary the two may land one class apart; that is
+    # acceptable — opposite extremes are not.
+    return {fluid, event} != {"healthy", "violating"}

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Capacity planning for the Hotel Reservation site.
+
+A what-if study a cloud operator would run before a booking surge: how
+much CPU does each manager need to survive 1000 -> 3700 users, and which
+ones actually hold the 200 ms p99 QoS?  Reuses the paper's Figure 11
+protocol on a coarser grid and adds the (untenable) do-nothing baseline
+of a fixed allocation sized for the low-load point.
+"""
+
+import numpy as np
+
+from repro.apps import HOTEL_QOS_MS, hotel_reservation
+from repro.baselines import AutoScale, PowerChief
+from repro.core.manager import StaticManager
+from repro.core.sinan import SinanManager
+from repro.harness.experiment import run_episode
+from repro.harness.pipeline import (
+    app_spec,
+    get_trained_predictor,
+    make_cluster,
+)
+from repro.harness.reporting import format_table
+
+
+def size_static_alloc(graph, users=1000):
+    """Fixed allocation an operator might provision from a low-load test."""
+    probe = make_cluster(graph, users, seed=2)
+    for _ in range(15):
+        stats = probe.step()
+    busy = stats.cpu_util * stats.cpu_alloc
+    return probe.clip_alloc(busy / 0.45 + 0.3)
+
+
+def main() -> None:
+    graph = hotel_reservation()
+    spec = app_spec(graph)
+    print(f"Hotel Reservation: {graph.n_tiers} tiers, "
+          f"QoS p99 <= {HOTEL_QOS_MS:.0f} ms")
+    print("Training / loading Sinan's model...\n")
+    predictor = get_trained_predictor(graph, seed=0)
+
+    managers = {
+        "Static@1000u": lambda: StaticManager(size_static_alloc(graph)),
+        "AutoScaleOpt": lambda: AutoScale.opt(graph.min_alloc(), graph.max_alloc()),
+        "AutoScaleCons": lambda: AutoScale.conservative(
+            graph.min_alloc(), graph.max_alloc()
+        ),
+        "PowerChief": lambda: PowerChief(graph.min_alloc(), graph.max_alloc()),
+        "Sinan": lambda: SinanManager(predictor, spec.qos, graph),
+    }
+
+    loads = (1000, 1900, 2800, 3700)
+    rows = []
+    for name, factory in managers.items():
+        cells = [name]
+        for users in loads:
+            cluster = make_cluster(graph, users, seed=300 + users)
+            result = run_episode(factory(), cluster, 120, spec.qos, warmup=25)
+            cells.append(f"{result.mean_total_cpu:.0f} ({result.qos_fraction:.2f})")
+        rows.append(cells)
+
+    print(format_table(
+        ["Manager"] + [f"{u} users" for u in loads],
+        rows,
+        title="Mean CPU cores (P(meet QoS)) per load level, 120 s episodes",
+    ))
+    print(
+        "\nReading the table: the static allocation collapses once the surge "
+        "arrives; AutoScaleOpt is cheap but drops QoS at the high end; "
+        "AutoScaleCons holds QoS by overprovisioning; Sinan holds QoS at a "
+        "fraction of its cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+legacy ``pip install -e .`` on offline hosts where PEP 660 editable
+wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

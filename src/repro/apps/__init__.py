@@ -1,0 +1,23 @@
+"""Motivating applications: DeathStarBench substitutes.
+
+The paper evaluates on two end-to-end interactive applications from
+DeathStarBench: a **Social Network** (28 tiers, Apache Thrift RPCs,
+memcached/Redis caching, MongoDB storage, RabbitMQ fan-out, and two ML
+content filters) and a **Hotel Reservation** site (Go/gRPC with
+memcached and MongoDB backends).  Both topologies are transcribed from
+the paper's Figures 1 and 2 and run on the queueing simulator.
+"""
+
+from repro.apps.social_network import social_network, SOCIAL_QOS_MS
+from repro.apps.hotel_reservation import hotel_reservation, HOTEL_QOS_MS
+from repro.apps.behaviors import RedisLogSync, encrypted_posts_variant, scaled_replicas_variant
+
+__all__ = [
+    "social_network",
+    "hotel_reservation",
+    "SOCIAL_QOS_MS",
+    "HOTEL_QOS_MS",
+    "RedisLogSync",
+    "encrypted_posts_variant",
+    "scaled_replicas_variant",
+]

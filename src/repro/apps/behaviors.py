@@ -1,0 +1,95 @@
+"""Application-level pathologies and deployment variants.
+
+These drive the paper's explainability case study (Section 5.6: Redis
+log synchronization) and the incremental-retraining scenarios (Section
+5.4: platform change, replica change, encrypted posts).
+"""
+
+from __future__ import annotations
+
+from repro.sim.behaviors import CapacityFault
+from repro.sim.graph import AppGraph
+
+
+class RedisLogSync(CapacityFault):
+    """Redis persistent-log synchronization stall (paper Section 5.6).
+
+    Redis was configured to persist logs every minute; for each sync it
+    forks a child process and copies all written memory to disk, during
+    which it stops serving requests.  Sinan's explainable-ML pass traced
+    the Social Network's unpredictable tail latency to exactly this tier
+    and to its memory counters (cache + resident set size).
+
+    Modelled as: every ``period`` seconds the ``graph-redis`` tier's
+    capacity collapses to a small residue for ``duration`` seconds, with
+    a resident-set-size spike from the copied pages.
+    """
+
+    TIER = "graph-redis"
+
+    def __init__(
+        self,
+        graph: AppGraph,
+        period: float = 60.0,
+        duration: float = 2.5,
+        residual_capacity: float = 0.0005,
+        rss_spike_mb: float = 450.0,
+        start_offset: float = 12.0,
+    ) -> None:
+        if self.TIER not in graph.index:
+            raise ValueError(
+                f"RedisLogSync targets {self.TIER!r}, absent from {graph.name}"
+            )
+        super().__init__(
+            tier_index=graph.index[self.TIER],
+            period=period,
+            duration=duration,
+            residual_capacity=residual_capacity,
+            rss_spike_mb=rss_spike_mb,
+            start_offset=start_offset,
+        )
+
+
+#: Tiers that touch post bodies, hence pay for AES encryption in the
+#: "modified application" retraining scenario (paper Section 5.4).
+_ENCRYPTION_TIERS = ("composePost", "text", "postStore", "postStore-mongodb")
+
+
+def encrypted_posts_variant(graph: AppGraph, cpu_scale: float = 1.6) -> AppGraph:
+    """Social Network variant where posts are AES-encrypted before storage.
+
+    Encryption/decryption raises the CPU demand of every tier that
+    serializes or persists post bodies; the paper reports the original
+    model's RMSE rising to ~40 ms on this variant until fine-tuned.
+    """
+    missing = [t for t in _ENCRYPTION_TIERS if t not in graph.index]
+    if missing:
+        raise ValueError(f"graph {graph.name} lacks encryption tiers: {missing}")
+
+    def scale(tier):
+        if tier.name in _ENCRYPTION_TIERS:
+            return tier.scaled(cpu_scale=cpu_scale)
+        return tier
+
+    return graph.map_tiers(scale)
+
+
+def scaled_replicas_variant(graph: AppGraph, replicas: int = 2) -> AppGraph:
+    """Variant with a different scale-out factor for stateless tiers.
+
+    The paper's second retraining scenario changes the replica count of
+    every microservice except the backend databases (to avoid data
+    migration overheads).
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+
+    def scale(tier):
+        if tier.kind.value == "db":
+            return tier
+        return tier.with_replicas(replicas)
+
+    return graph.map_tiers(scale)
+
+
+__all__ = ["RedisLogSync", "encrypted_posts_variant", "scaled_replicas_variant"]

@@ -1,0 +1,136 @@
+"""Hotel Reservation application (paper Figure 1).
+
+An online hotel reservation site supporting geolocation search, hotel
+recommendations, user login, and placing reservations.  Implemented in
+the original as Go services over gRPC with memcached caches and MongoDB
+persistent storage; here the 17-tier topology is transcribed from the
+paper's Figure 1.
+
+QoS is 200 ms on the end-to-end 99th percentile latency; this is the
+simpler of the two applications (paper: Sinan saves 25.9% CPU on average
+versus the cheapest QoS-meeting baseline here, versus 59% on Social
+Network where abstracting complexity matters more).
+"""
+
+from __future__ import annotations
+
+from repro.sim.graph import AppGraph, RequestType
+from repro.sim.tier import TierKind, TierSpec
+
+#: End-to-end p99 QoS target for Hotel Reservation (ms), per the paper.
+HOTEL_QOS_MS = 200.0
+
+
+def _tiers() -> list[TierSpec]:
+    # Hotel Reservation serves thousands of RPS (paper sweeps 1000-3700
+    # users), so the busy tiers need higher per-tier ceilings than the
+    # Social Network's (whose load peaks at 450 users).
+    # Go microservices are lean: per-request CPU is lower than the
+    # Python/Thrift Social Network tiers (and the paper's hotel app is
+    # the "simpler" one, peaking around 260 total CPUs at 3700 users).
+    front = dict(kind=TierKind.FRONTEND, cpu_per_req=0.0010, rss_base_mb=100.0,
+                 cache_mb=40.0, max_cpu=32.0)
+    logic = dict(kind=TierKind.LOGIC, rss_base_mb=120.0, cache_mb=50.0, max_cpu=32.0)
+    cache = dict(kind=TierKind.CACHE, cpu_per_req=0.0006, rss_base_mb=600.0,
+                 cache_mb=60.0, max_cpu=24.0)
+    db = dict(kind=TierKind.DB, cpu_per_req=0.0035, rss_base_mb=400.0,
+              cache_mb=1500.0, min_cpu=0.4, max_cpu=24.0)
+    return [
+        TierSpec("frontend", **front),
+        TierSpec("search", cpu_per_req=0.0025, **logic),
+        TierSpec("geo", cpu_per_req=0.0020, **logic),
+        TierSpec("rate", cpu_per_req=0.0020, **logic),
+        TierSpec("profile", cpu_per_req=0.0020, **logic),
+        TierSpec("recommend", cpu_per_req=0.0025, **logic),
+        TierSpec("reserve", cpu_per_req=0.0025, **logic),
+        TierSpec("user", cpu_per_req=0.0015, **logic),
+        TierSpec("profile-memc", **cache),
+        TierSpec("profile-mongo", **db),
+        TierSpec("rate-memc", **cache),
+        TierSpec("rate-mongo", **db),
+        TierSpec("geo-mongo", **db),
+        TierSpec("recommend-mongo", **db),
+        TierSpec("reserve-memc", **cache),
+        TierSpec("reserve-mongo", **db),
+        TierSpec("user-mongo", **db),
+    ]
+
+
+def _edges() -> list[tuple[str, str]]:
+    return [
+        ("frontend", "search"),
+        ("frontend", "recommend"),
+        ("frontend", "reserve"),
+        ("frontend", "user"),
+        ("frontend", "profile"),
+        ("search", "geo"),
+        ("search", "rate"),
+        ("geo", "geo-mongo"),
+        ("rate", "rate-memc"),
+        ("rate", "rate-mongo"),
+        ("profile", "profile-memc"),
+        ("profile", "profile-mongo"),
+        ("recommend", "recommend-mongo"),
+        ("reserve", "reserve-memc"),
+        ("reserve", "reserve-mongo"),
+        ("reserve", "user"),
+        ("user", "user-mongo"),
+    ]
+
+
+def _request_types() -> list[RequestType]:
+    search = RequestType(
+        name="Search",
+        stages=(
+            ("frontend",),
+            ("search",),
+            ("geo", "rate"),
+            ("geo-mongo", "rate-memc", "rate-mongo"),
+            ("profile",),
+            ("profile-memc", "profile-mongo"),
+        ),
+        # Caches absorb most lookups; MongoDB sees only misses.
+        work={"rate-mongo": 0.3, "profile-mongo": 0.3, "profile": 2.0,
+              "profile-memc": 2.0},
+    )
+    recommend = RequestType(
+        name="Recommend",
+        stages=(
+            ("frontend",),
+            ("recommend",),
+            ("recommend-mongo",),
+            ("profile",),
+            ("profile-memc", "profile-mongo"),
+        ),
+        work={"profile-mongo": 0.3},
+    )
+    reserve = RequestType(
+        name="Reserve",
+        stages=(
+            ("frontend",),
+            ("reserve", "user"),
+            ("reserve-memc", "reserve-mongo", "user-mongo"),
+        ),
+    )
+    login = RequestType(
+        name="Login",
+        stages=(
+            ("frontend",),
+            ("user",),
+            ("user-mongo",),
+        ),
+    )
+    return [search, recommend, reserve, login]
+
+
+def hotel_reservation() -> AppGraph:
+    """Build the Hotel Reservation application graph (17 tiers)."""
+    return AppGraph(
+        name="hotel_reservation",
+        tiers=_tiers(),
+        edges=_edges(),
+        request_types=_request_types(),
+    )
+
+
+__all__ = ["hotel_reservation", "HOTEL_QOS_MS"]

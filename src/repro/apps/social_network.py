@@ -1,0 +1,192 @@
+"""Social Network application (paper Figure 2).
+
+A broadcast-style social network with uni-directional follow
+relationships.  Users compose posts (text, media, links, user tags)
+which pass through ML content filters (an image CNN and a text SVM)
+before being fanned out via RabbitMQ to follower timelines, and read
+their home/user timelines.  Backends are memcached/Redis caches over
+MongoDB.
+
+The 28 tiers and their call edges follow the paper's Figure 2 and the
+per-tier legend of Figure 12.  QoS is 500 ms on the end-to-end 99th
+percentile latency (paper Section 5.1).
+"""
+
+from __future__ import annotations
+
+from repro.sim.graph import AppGraph, RequestType
+from repro.sim.tier import TierKind, TierSpec
+
+#: End-to-end p99 QoS target for Social Network (ms), per the paper.
+SOCIAL_QOS_MS = 500.0
+
+
+def _tiers() -> list[TierSpec]:
+    # The Thrift/Python Social Network tiers are markedly heavier per
+    # request than the Go hotel app (the paper's social network needs
+    # comparable total CPU at ~10x fewer users).
+    front = dict(kind=TierKind.FRONTEND, cpu_per_req=0.0030, rss_base_mb=120.0,
+                 cache_mb=40.0, max_cpu=24.0)
+    logic = dict(kind=TierKind.LOGIC, cpu_per_req=0.0060, rss_base_mb=150.0,
+                 cache_mb=60.0, max_cpu=10.0)
+    # ML inference tiers are never squeezed below one core: sub-core
+    # limits stretch a 15-35 ms inference into hundreds of milliseconds.
+    ml = dict(kind=TierKind.ML, rss_base_mb=900.0, cache_mb=120.0, min_cpu=1.0, max_cpu=24.0)
+    cache = dict(kind=TierKind.CACHE, cpu_per_req=0.0015, rss_base_mb=700.0,
+                 cache_mb=80.0, max_cpu=10.0)
+    db = dict(kind=TierKind.DB, cpu_per_req=0.0080, rss_base_mb=450.0,
+              cache_mb=1800.0, min_cpu=0.4, max_cpu=10.0)
+    queue = dict(kind=TierKind.QUEUE, cpu_per_req=0.0020, rss_base_mb=220.0,
+                 cache_mb=60.0, max_cpu=10.0)
+    return [
+        TierSpec("nginx", **front),
+        TierSpec("composePost", **logic),
+        TierSpec("uniqueID", **logic),
+        TierSpec("urlShorten", **logic),
+        TierSpec("userMention", **logic),
+        TierSpec("text", **logic),
+        TierSpec("media", **logic),
+        TierSpec("textFilter", cpu_per_req=0.0150, **ml),
+        TierSpec("mediaFilter", cpu_per_req=0.0350, **ml),
+        TierSpec("user", **logic),
+        TierSpec("user-mem$", **cache),
+        TierSpec("user-mongodb", **db),
+        TierSpec("compPost-redis", **cache),
+        TierSpec("postStore", **{**logic, "max_cpu": 16.0}),
+        TierSpec("postStore-mem$", **{**cache, "max_cpu": 16.0}),
+        TierSpec("postStore-mongodb", **db),
+        TierSpec("userTimeline", **logic),
+        TierSpec("userTl-redis", **cache),
+        TierSpec("userTl-mongodb", **db),
+        TierSpec("homeTimeline", **logic),
+        TierSpec("homeTl-redis", **cache),
+        TierSpec("writeHomeTl-rabbitmq", **queue),
+        TierSpec("writeHomeTimeline", **logic),
+        TierSpec("writeUserTl-rabbitmq", **queue),
+        TierSpec("writeUserTimeline", **logic),
+        TierSpec("graph", **logic),
+        TierSpec("graph-redis", **cache),
+        TierSpec("graph-mongodb", **db),
+    ]
+
+
+def _edges() -> list[tuple[str, str]]:
+    return [
+        ("nginx", "composePost"),
+        ("nginx", "homeTimeline"),
+        ("nginx", "userTimeline"),
+        ("nginx", "user"),
+        ("composePost", "uniqueID"),
+        ("composePost", "text"),
+        ("composePost", "media"),
+        ("composePost", "user"),
+        ("composePost", "compPost-redis"),
+        ("composePost", "postStore"),
+        ("composePost", "writeHomeTl-rabbitmq"),
+        ("composePost", "writeUserTl-rabbitmq"),
+        ("text", "textFilter"),
+        ("text", "urlShorten"),
+        ("text", "userMention"),
+        ("media", "mediaFilter"),
+        ("userMention", "user-mem$"),
+        ("userMention", "user-mongodb"),
+        ("user", "user-mem$"),
+        ("user", "user-mongodb"),
+        ("postStore", "postStore-mem$"),
+        ("postStore", "postStore-mongodb"),
+        ("writeHomeTl-rabbitmq", "writeHomeTimeline"),
+        ("writeHomeTimeline", "homeTl-redis"),
+        ("writeHomeTimeline", "graph"),
+        ("writeUserTl-rabbitmq", "writeUserTimeline"),
+        ("writeUserTimeline", "userTl-redis"),
+        ("writeUserTimeline", "userTl-mongodb"),
+        ("homeTimeline", "homeTl-redis"),
+        ("homeTimeline", "postStore"),
+        ("userTimeline", "userTl-redis"),
+        ("userTimeline", "userTl-mongodb"),
+        ("userTimeline", "postStore"),
+        ("graph", "graph-redis"),
+        ("graph", "graph-mongodb"),
+    ]
+
+
+def _request_types() -> list[RequestType]:
+    compose = RequestType(
+        name="ComposePost",
+        stages=(
+            ("nginx",),
+            ("composePost",),
+            ("uniqueID", "text", "media", "user"),
+            ("textFilter", "mediaFilter", "urlShorten", "userMention"),
+            ("user-mem$", "user-mongodb"),
+            ("compPost-redis", "postStore"),
+            ("postStore-mem$", "postStore-mongodb"),
+            ("writeHomeTl-rabbitmq", "writeUserTl-rabbitmq"),
+            ("writeHomeTimeline", "writeUserTimeline"),
+            ("graph",),
+            (
+                "graph-redis",
+                "graph-mongodb",
+                "homeTl-redis",
+                "userTl-redis",
+                "userTl-mongodb",
+            ),
+        ),
+        # Fan-out to follower timelines multiplies the timeline-cache
+        # work; MongoDB tiers only see cache misses.
+        work={
+            "homeTl-redis": 3.0,
+            "user-mongodb": 0.3,
+            "postStore-mongodb": 0.8,
+            "graph-mongodb": 0.3,
+        },
+    )
+    read_home = RequestType(
+        name="ReadHomeTimeline",
+        stages=(
+            ("nginx",),
+            ("homeTimeline",),
+            ("homeTl-redis",),
+            ("postStore",),
+            ("postStore-mem$", "postStore-mongodb"),
+        ),
+        # A timeline read fetches a page of posts: several units of
+        # post-storage work, mostly served from memcached.
+        work={
+            "homeTimeline": 2.0,
+            "postStore": 3.0,
+            "postStore-mem$": 3.0,
+            "postStore-mongodb": 0.5,
+        },
+    )
+    read_user = RequestType(
+        name="ReadUserTimeline",
+        stages=(
+            ("nginx",),
+            ("userTimeline",),
+            ("userTl-redis", "userTl-mongodb"),
+            ("postStore",),
+            ("postStore-mem$", "postStore-mongodb"),
+        ),
+        work={
+            "userTimeline": 2.0,
+            "userTl-mongodb": 0.4,
+            "postStore": 3.0,
+            "postStore-mem$": 3.0,
+            "postStore-mongodb": 0.5,
+        },
+    )
+    return [compose, read_home, read_user]
+
+
+def social_network() -> AppGraph:
+    """Build the Social Network application graph (28 tiers)."""
+    return AppGraph(
+        name="social_network",
+        tiers=_tiers(),
+        edges=_edges(),
+        request_types=_request_types(),
+    )
+
+
+__all__ = ["social_network", "SOCIAL_QOS_MS"]

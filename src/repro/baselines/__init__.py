@@ -1,0 +1,20 @@
+"""Baseline resource managers the paper compares against.
+
+* :class:`~repro.baselines.autoscale.AutoScale` — utilization step
+  scaling per the AWS tutorial the paper cites, in the ``Opt``
+  (resource-efficient) and ``Cons`` (conservative, QoS-optimized)
+  configurations of Section 5.3;
+* :class:`~repro.baselines.powerchief.PowerChief` — queueing-analysis
+  boosting for multi-stage applications, which identifies the tier with
+  the longest estimated ingress queue and shifts resources toward it.
+"""
+
+from repro.baselines.autoscale import AutoScale, AUTOSCALE_OPT_RULES, AUTOSCALE_CONS_RULES
+from repro.baselines.powerchief import PowerChief
+
+__all__ = [
+    "AutoScale",
+    "AUTOSCALE_OPT_RULES",
+    "AUTOSCALE_CONS_RULES",
+    "PowerChief",
+]

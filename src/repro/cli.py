@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``train``   — collect data and train the hybrid model for an app,
+* ``run``     — deploy a manager against a load and report the episode,
+* ``sweep``   — the Figure 11 protocol: managers x loads comparison,
+* ``explain`` — LIME-style tier/resource attribution for a trained model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--app",
+        choices=("social_network", "hotel_reservation"),
+        default="social_network",
+        help="application to manage",
+    )
+    parser.add_argument("--budget", default=None,
+                        help="pipeline budget: small / medium / large")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sinan (ASPLOS'21) reproduction pipeline",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="collect data and train the model")
+    _add_common(train)
+    train.add_argument("--no-cache", action="store_true",
+                       help="retrain even if a cached model exists")
+
+    run = sub.add_parser("run", help="run one manager/load episode")
+    _add_common(run)
+    run.add_argument("--manager", default="sinan",
+                     choices=("sinan", "autoscale-opt", "autoscale-cons",
+                              "powerchief"))
+    run.add_argument("--users", type=float, default=250)
+    run.add_argument("--duration", type=int, default=150)
+
+    sweep = sub.add_parser("sweep", help="Figure 11 comparison sweep")
+    _add_common(sweep)
+    sweep.add_argument("--duration", type=int, default=150)
+    sweep.add_argument(
+        "--managers", default="sinan,autoscale-opt,autoscale-cons,powerchief"
+    )
+
+    explain = sub.add_parser("explain", help="attribute tail latency to tiers")
+    _add_common(explain)
+    explain.add_argument("--tier", default=None,
+                         help="also rank this tier's resource channels")
+    return parser
+
+
+def _make_manager(name: str, predictor, spec, graph):
+    from repro.baselines import AutoScale, PowerChief
+    from repro.core.sinan import SinanManager
+
+    if name == "sinan":
+        return SinanManager(predictor, spec.qos, graph)
+    if name == "autoscale-opt":
+        return AutoScale.opt(graph.min_alloc(), graph.max_alloc())
+    if name == "autoscale-cons":
+        return AutoScale.conservative(graph.min_alloc(), graph.max_alloc())
+    if name == "powerchief":
+        return PowerChief(graph.min_alloc(), graph.max_alloc())
+    raise ValueError(name)
+
+
+def cmd_train(args) -> int:
+    from repro.harness.pipeline import get_trained_predictor
+
+    predictor = get_trained_predictor(
+        args.app, args.budget, seed=args.seed, use_cache=not args.no_cache
+    )
+    report = predictor.report
+    print(f"trained {args.app}: {report.n_train} train samples")
+    print(f"  CNN val RMSE: {report.rmse_val:.1f} ms")
+    print(f"  BT val accuracy: {report.bt_accuracy_val:.3f} "
+          f"(FP {report.bt_false_pos_val:.3f}, FN {report.bt_false_neg_val:.3f}, "
+          f"{report.bt_trees} trees)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.harness.experiment import run_episode
+    from repro.harness.pipeline import app_spec, get_trained_predictor, make_cluster
+
+    spec = app_spec(args.app)
+    graph = spec.graph_factory()
+    predictor = None
+    if args.manager == "sinan":
+        predictor = get_trained_predictor(args.app, args.budget, seed=args.seed)
+    manager = _make_manager(args.manager, predictor, spec, graph)
+    cluster = make_cluster(graph, args.users, seed=args.seed)
+    result = run_episode(manager, cluster, args.duration, spec.qos,
+                         warmup=min(30, args.duration // 4))
+    print(f"{manager.name} @ {args.users:g} users for {args.duration}s:")
+    print(f"  mean CPU: {result.mean_total_cpu:.1f} cores "
+          f"(max {result.max_total_cpu:.1f})")
+    print(f"  P(meet QoS): {result.qos_fraction:.3f} "
+          f"(QoS = {spec.qos.latency_ms:.0f} ms p99)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.harness.experiment import run_episode
+    from repro.harness.pipeline import app_spec, get_trained_predictor, make_cluster
+    from repro.harness.reporting import format_table
+
+    spec = app_spec(args.app)
+    graph = spec.graph_factory()
+    names = [n.strip() for n in args.managers.split(",") if n.strip()]
+    predictor = None
+    if "sinan" in names:
+        predictor = get_trained_predictor(args.app, args.budget, seed=args.seed)
+
+    rows = []
+    for users in spec.fig11_loads:
+        row = [f"{users:g}"]
+        for name in names:
+            manager = _make_manager(name, predictor, spec, graph)
+            cluster = make_cluster(graph, users, seed=args.seed * 997 + int(users))
+            result = run_episode(manager, cluster, args.duration, spec.qos,
+                                 warmup=min(30, args.duration // 4))
+            row.append(f"{result.mean_total_cpu:.0f}/{result.qos_fraction:.2f}")
+        rows.append(row)
+    print(format_table(
+        ["Users"] + names, rows,
+        title=f"{args.app}: mean CPU / P(meet QoS) per manager",
+    ))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.core.interpret import LimeExplainer
+    from repro.harness.pipeline import (
+        collect_training_data, app_spec, get_trained_predictor,
+    )
+    from repro.harness.reporting import format_table
+
+    spec = app_spec(args.app)
+    predictor = get_trained_predictor(args.app, args.budget, seed=args.seed)
+    dataset = collect_training_data(
+        spec.graph_factory(), "small", seed=args.seed + 7
+    )
+    explainer = LimeExplainer(predictor, seed=args.seed)
+    tiers = explainer.explain_tiers(dataset, top_k=5)
+    print(format_table(
+        ["Rank", "Tier", "Weight"],
+        [[i + 1, a.name, f"{a.weight:+.1f}"] for i, a in enumerate(tiers)],
+        title="Top-5 latency-critical tiers",
+    ))
+    if args.tier:
+        resources = explainer.explain_resources(dataset, tier=args.tier, top_k=3)
+        print(format_table(
+            ["Rank", "Resource", "Weight"],
+            [[i + 1, a.name, f"{a.weight:+.1f}"]
+             for i, a in enumerate(resources)],
+            title=f"Critical resources of {args.tier}",
+        ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    np.set_printoptions(precision=3, suppress=True)
+    handlers = {
+        "train": cmd_train,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "explain": cmd_explain,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

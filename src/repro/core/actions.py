@@ -1,0 +1,229 @@
+"""The pruned resource-allocation action space (paper Table 1).
+
+Evaluating every possible allocation online is intractable; Sinan only
+scores a heuristic candidate set per interval:
+
+=================  ====================================================
+Scale Down         reduce the CPU limit of 1 tier
+Scale Down Batch   reduce the CPU limit of the k least-utilized tiers
+Hold               keep the current allocation
+Scale Up           increase the CPU limit of 1 tier
+Scale Up All       increase the CPU limit of all tiers
+Scale Up Victim    increase recently-downscaled tiers
+=================  ====================================================
+
+Per-tier steps follow the AWS step-scaling tutorial the paper cites:
+absolute steps of 0.2 up to 1.0 CPU, and relative steps of 10% or 30%
+of the tier's allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ActionKind(enum.Enum):
+    SCALE_DOWN = "scale_down"
+    SCALE_DOWN_BATCH = "scale_down_batch"
+    HOLD = "hold"
+    SCALE_UP = "scale_up"
+    SCALE_UP_ALL = "scale_up_all"
+    SCALE_UP_VICTIM = "scale_up_victim"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One candidate: the resulting allocation and its provenance."""
+
+    kind: ActionKind
+    alloc: np.ndarray
+    description: str
+
+    @property
+    def total_cpu(self) -> float:
+        return float(self.alloc.sum())
+
+
+#: Absolute per-tier CPU steps (cores), per the paper: 0.2 up to 1.0.
+ABSOLUTE_STEPS: tuple[float, ...] = (0.2, 0.6, 1.0)
+#: Relative per-tier steps, per the AWS step-scaling tutorial.
+RELATIVE_STEPS: tuple[float, ...] = (0.1, 0.3)
+#: Whole-application upscale ratios evaluated for Scale Up All.  The
+#: larger ratios let the scheduler respond to a predicted violation with
+#: a right-sized boost instead of falling through to the max-allocation
+#: safety action.
+SCALE_UP_ALL_RATIOS: tuple[float, ...] = (0.1, 0.3, 0.6, 1.0)
+
+
+class ActionSpace:
+    """Generates the Table 1 candidate set for one decision."""
+
+    def __init__(
+        self,
+        min_alloc: np.ndarray,
+        max_alloc: np.ndarray,
+        absolute_steps: tuple[float, ...] = ABSOLUTE_STEPS,
+        relative_steps: tuple[float, ...] = RELATIVE_STEPS,
+        batch_sizes: tuple[int, ...] = (2, 4, 8, 1_000_000),
+        util_cap: float = 0.6,
+    ) -> None:
+        self.min_alloc = np.asarray(min_alloc, dtype=float)
+        self.max_alloc = np.asarray(max_alloc, dtype=float)
+        self.absolute_steps = absolute_steps
+        self.relative_steps = relative_steps
+        self.batch_sizes = batch_sizes
+        self.util_cap = util_cap
+
+    @property
+    def n_tiers(self) -> int:
+        return len(self.min_alloc)
+
+    def _clip(self, alloc: np.ndarray) -> np.ndarray:
+        return np.clip(alloc, self.min_alloc, self.max_alloc)
+
+    def _down_steps(self, current: np.ndarray, tier: int) -> list[float]:
+        steps = {s for s in self.absolute_steps}
+        steps |= {current[tier] * r for r in self.relative_steps}
+        return sorted(steps)
+
+    def candidates(
+        self,
+        current: np.ndarray,
+        cpu_util: np.ndarray,
+        victims: np.ndarray | None = None,
+        allow_scale_down: bool = True,
+    ) -> list[Action]:
+        """Candidate actions from the current allocation and utilization.
+
+        Parameters
+        ----------
+        current:
+            Current per-tier allocation.
+        cpu_util:
+            Last interval's per-tier utilization; used to order the
+            batch scale-down and to enforce the paper's utilization cap
+            (downsizing must not push a tier's projected utilization
+            above the cap — the rule that avoids long queues and dropped
+            requests during data collection and deployment).
+        victims:
+            Boolean mask of tiers scaled down within the last t cycles,
+            for the Scale Up Victim action.
+        allow_scale_down:
+            The paper disables resource reclamation while tail latency
+            exceeds the expected value; pass ``False`` to do the same.
+        """
+        current = np.asarray(current, dtype=float)
+        cpu_util = np.asarray(cpu_util, dtype=float)
+        n = self.n_tiers
+        actions: list[Action] = [
+            Action(ActionKind.HOLD, current.copy(), "hold")
+        ]
+        busy = cpu_util * current  # cores actually used last interval
+
+        def util_ok(alloc: np.ndarray) -> bool:
+            # The cap constrains only the tiers this action shrinks; a
+            # tier that is already hot (and untouched) must not veto
+            # reclaiming a different, idle tier.
+            shrunk = alloc < current - 1e-12
+            if not shrunk.any():
+                return True
+            projected = busy[shrunk] / np.maximum(alloc[shrunk], 1e-9)
+            return bool(np.all(projected <= self.util_cap))
+
+        if allow_scale_down:
+            for tier in range(n):
+                if current[tier] <= self.min_alloc[tier]:
+                    continue
+                for step in self._down_steps(current, tier):
+                    alloc = current.copy()
+                    alloc[tier] = max(alloc[tier] - step, self.min_alloc[tier])
+                    if np.allclose(alloc, current):
+                        continue
+                    if not util_ok(alloc):
+                        continue
+                    actions.append(
+                        Action(
+                            ActionKind.SCALE_DOWN,
+                            alloc,
+                            f"down tier {tier} by {step:.2f}",
+                        )
+                    )
+            order = np.argsort(cpu_util)
+            for k in self.batch_sizes:
+                k = min(k, n)
+                chosen = order[:k]
+                for step_desc, stepped in (
+                    ("0.2", current[chosen] - 0.2),
+                    ("10%", current[chosen] * 0.9),
+                ):
+                    alloc = current.copy()
+                    alloc[chosen] = np.maximum(stepped, self.min_alloc[chosen])
+                    if np.allclose(alloc, current) or not util_ok(alloc):
+                        continue
+                    actions.append(
+                        Action(
+                            ActionKind.SCALE_DOWN_BATCH,
+                            alloc,
+                            f"down {k} least-utilized tiers by {step_desc}",
+                        )
+                    )
+
+        for tier in range(n):
+            if current[tier] >= self.max_alloc[tier]:
+                continue
+            for step in self._down_steps(current, tier):
+                alloc = current.copy()
+                alloc[tier] = min(alloc[tier] + step, self.max_alloc[tier])
+                if np.allclose(alloc, current):
+                    continue
+                actions.append(
+                    Action(
+                        ActionKind.SCALE_UP,
+                        alloc,
+                        f"up tier {tier} by {step:.2f}",
+                    )
+                )
+
+        for ratio in SCALE_UP_ALL_RATIOS:
+            alloc = self._clip(current * (1.0 + ratio))
+            if not np.allclose(alloc, current):
+                actions.append(
+                    Action(
+                        ActionKind.SCALE_UP_ALL,
+                        alloc,
+                        f"up all tiers by {int(ratio * 100)}%",
+                    )
+                )
+
+        if victims is not None and victims.any():
+            alloc = current.copy()
+            alloc[victims] = np.minimum(
+                alloc[victims] + 0.6, self.max_alloc[victims]
+            )
+            if not np.allclose(alloc, current):
+                actions.append(
+                    Action(
+                        ActionKind.SCALE_UP_VICTIM,
+                        alloc,
+                        f"up {int(victims.sum())} recent victim tiers",
+                    )
+                )
+        return actions
+
+    def max_allocation_action(self) -> Action:
+        """The safety fallback: every tier at its ceiling."""
+        return Action(
+            ActionKind.SCALE_UP_ALL, self.max_alloc.copy(), "all tiers to max"
+        )
+
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "ActionSpace",
+    "ABSOLUTE_STEPS",
+    "RELATIVE_STEPS",
+]

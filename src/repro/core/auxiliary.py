@@ -1,0 +1,95 @@
+"""Auxiliary resource managers (paper Section 4.3, "Additional resources").
+
+Sinan's models focus on compute; the paper notes other resources behave
+like thresholds and "can be managed with much simpler models, like
+setting fixed thresholds for memory usage, or scaling proportionally
+with respect to user load for network bandwidth."  These two helpers
+implement exactly that and can be layered next to any CPU manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.graph import AppGraph
+from repro.sim.telemetry import TelemetryLog
+
+
+@dataclass
+class MemoryProvisioner:
+    """Per-tier memory limits from profiled peak usage.
+
+    The paper provisions each tier with its maximum profiled memory to
+    eliminate out-of-memory errors (Section 2.1).  ``profile`` tracks
+    the peak resident set observed; ``limits`` returns that peak plus a
+    safety headroom.
+    """
+
+    graph: AppGraph
+    headroom: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        self._peak_rss = np.zeros(self.graph.n_tiers)
+
+    def profile(self, log: TelemetryLog) -> None:
+        """Fold an episode's telemetry into the peak-usage profile."""
+        for stats in log:
+            self._peak_rss = np.maximum(self._peak_rss, stats.rss_mb)
+
+    @property
+    def peak_rss_mb(self) -> np.ndarray:
+        return self._peak_rss.copy()
+
+    def limits_mb(self) -> np.ndarray:
+        """Per-tier memory limits (MB) covering the profiled peak."""
+        if not self._peak_rss.any():
+            raise RuntimeError("no profile collected yet")
+        return self._peak_rss * self.headroom
+
+    def would_oom(self, log: TelemetryLog) -> np.ndarray:
+        """Boolean mask of tiers whose latest usage exceeds the limits."""
+        return log.latest.rss_mb > self.limits_mb()
+
+
+@dataclass
+class BandwidthProvisioner:
+    """Network bandwidth scaled proportionally to offered load.
+
+    Bandwidth behaves like a threshold resource: below the requirement
+    performance collapses, above it extra capacity is wasted.  The
+    provisioner learns per-tier packets-per-user from telemetry and
+    allocates ``margin`` times the expected rate.
+    """
+
+    graph: AppGraph
+    margin: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        self._pps_per_rps = np.zeros(self.graph.n_tiers)
+        self._samples = 0
+
+    def profile(self, log: TelemetryLog) -> None:
+        """Estimate per-tier packet rate per unit of offered load."""
+        for stats in log:
+            if stats.rps <= 0:
+                continue
+            rate = (stats.rx_pps + stats.tx_pps) / stats.rps
+            self._pps_per_rps = (
+                (self._pps_per_rps * self._samples + rate) / (self._samples + 1)
+            )
+            self._samples += 1
+
+    def limits_pps(self, expected_rps: float) -> np.ndarray:
+        """Per-tier bandwidth limits (packets/s) for an expected load."""
+        if self._samples == 0:
+            raise RuntimeError("no profile collected yet")
+        return self._pps_per_rps * expected_rps * self.margin
+
+
+__all__ = ["MemoryProvisioner", "BandwidthProvisioner"]

@@ -1,0 +1,332 @@
+"""Training-data collection: exploring the allocation-space boundary.
+
+The accuracy of Sinan's models hinges on the training distribution
+(paper Section 4.2 and Figures 9-10).  The paper designs the collection
+process as a multi-armed bandit: each tier is an arm, the application's
+running state is approximated by the tuple ``(rps, lat_cur, lat_diff)``,
+and every step each tier takes the operation that maximizes the expected
+reduction of the confidence interval of its Bernoulli
+probability-of-meeting-QoS (Eq. 3) — which concentrates samples on the
+QoS *boundary*, where the mapping from resources to QoS is
+nondeterministic.
+
+Pruning rules (paper): operations come from a predefined set (CPU steps
+of 0.2 up to 1.0 core, or 10%/30% of the tier's allocation); a per-tier
+utilization cap prevents overly aggressive downsizing; reclamation is
+disabled while latency exceeds the expected value; exploration stays in
+the ``[0, QoS + alpha]`` latency region with ``alpha = 20%`` of QoS so
+slight violations are observed without drifting far from deployment
+conditions.
+
+The module also implements the two flawed collection schemes of
+Figure 10: collecting while an autoscaler manages the cluster (never
+sees violations -> underestimates latency) and random exploration
+(rarely near the boundary -> overestimates latency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.features import build_dataset
+from repro.core.qos import QoSTarget
+from repro.ml.dataset import SinanDataset
+from repro.sim.cluster import ClusterSimulator
+from repro.sim.telemetry import TelemetryLog
+
+#: Per-tier CPU deltas available to the bandit (paper Section 4.2).
+_ABS_DELTAS = (-1.0, -0.6, -0.2, 0.0, 0.2, 0.6, 1.0)
+_REL_DELTAS = (-0.3, -0.1, 0.1, 0.3)
+
+
+@dataclass(frozen=True)
+class CollectionConfig:
+    """Knobs of the collection process."""
+
+    qos: QoSTarget
+    horizon: int = 3
+    n_timesteps: int = 5
+    alpha_frac: float = 0.2
+    """Exploration band above QoS, as a fraction of the QoS target."""
+
+    util_cap: float = 0.9
+    """Per-tier utilization cap enforced when downsizing."""
+
+    alloc_bucket: float = 0.2
+    """Bucket width (cores) for the bandit's per-tier resource states."""
+
+    @property
+    def explore_ceiling_ms(self) -> float:
+        return self.qos.latency_ms * (1.0 + self.alpha_frac)
+
+
+class CollectPolicy(Protocol):
+    """Chooses the next allocation while collecting training data."""
+
+    name: str
+
+    def decide(self, cluster: ClusterSimulator) -> np.ndarray:
+        ...
+
+
+@dataclass
+class _ArmStats:
+    meets: int = 0
+    total: int = 0
+
+    def p(self) -> float:
+        return (self.meets + 1.0) / (self.total + 2.0)
+
+
+class BanditExplorer:
+    """The paper's multi-armed-bandit boundary explorer (Eq. 3)."""
+
+    name = "bandit"
+
+    def __init__(self, config: CollectionConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        self._stats: dict[tuple, _ArmStats] = {}
+        self._pending: list[tuple] = []
+
+    # -- state discretization ------------------------------------------
+
+    def _running_state(self, cluster: ClusterSimulator) -> tuple[int, int, int]:
+        """Discretized (rps, lat_cur, lat_diff) tuple."""
+        log = cluster.telemetry
+        if len(log) == 0:
+            return (0, 0, 0)
+        qos = self.config.qos
+        latest = log.latest
+        rps_bucket = int(math.log2(max(latest.rps, 1.0)))
+        lat_ratio = qos.latency_of(latest) / qos.latency_ms
+        lat_bucket = int(np.digitize(lat_ratio, [0.25, 0.5, 0.75, 1.0, 1.2]))
+        if len(log) >= 2:
+            diff = qos.latency_of(log[-1]) - qos.latency_of(log[-2])
+            diff_bucket = int(np.sign(diff)) if abs(diff) > 0.05 * qos.latency_ms else 0
+        else:
+            diff_bucket = 0
+        return (rps_bucket, lat_bucket, diff_bucket)
+
+    def _bucket(self, cores: float) -> int:
+        return int(round(cores / self.config.alloc_bucket))
+
+    # -- Eq. 3 information gain ----------------------------------------
+
+    def _info_gain(self, key: tuple) -> float:
+        arm = self._stats.get(key, _ArmStats())
+        n = arm.total
+        p = arm.p()
+        p_plus = (arm.meets + 2.0) / (n + 3.0)
+        p_minus = (arm.meets + 1.0) / (n + 3.0)
+        width = math.sqrt(p * (1.0 - p) / (n + 2.0))
+        width_plus = math.sqrt(p_plus * (1.0 - p_plus) / (n + 3.0))
+        width_minus = math.sqrt(p_minus * (1.0 - p_minus) / (n + 3.0))
+        return width - (p * width_plus + (1.0 - p) * width_minus)
+
+    def _op_coefficient(self, delta: float, lat_ratio: float) -> float:
+        """The paper's C_op: rewards meeting QoS and cutting slack."""
+        if lat_ratio > 1.0:  # violating: favor upscaling strongly
+            if delta > 0:
+                return 2.0
+            return 0.5 if delta == 0 else 0.0
+        if lat_ratio > 0.8:  # near the boundary: prefer to hold/raise
+            return 1.2 if delta >= 0 else 0.8
+        # comfortably meeting QoS: reward reclaiming overprovisioning
+        if delta < 0:
+            return 1.4
+        return 1.0 if delta == 0 else 0.6
+
+    # -- policy interface ----------------------------------------------
+
+    def decide(self, cluster: ClusterSimulator) -> np.ndarray:
+        cfg = self.config
+        current = cluster.current_alloc.copy()
+        state = self._running_state(cluster)
+        log = cluster.telemetry
+        lat_ratio = (
+            cfg.qos.latency_of(log.latest) / cfg.qos.latency_ms if len(log) else 0.0
+        )
+        util = log.latest.cpu_util if len(log) else np.zeros_like(current)
+        busy = util * current
+        min_alloc = cluster.min_alloc
+        max_alloc = cluster.max_alloc
+
+        # Hard recovery: above the exploration ceiling, upscale everything
+        # so the latency distribution stays near deployment conditions
+        # (the paper explores in [0, QoS + alpha] only).  Deep overload
+        # (dropped requests / runaway queues) jumps straight to max so
+        # the 5 s timeout plateau never dominates the dataset.
+        if lat_ratio > 2.0 * (1.0 + cfg.alpha_frac) or (
+            len(log) and log.latest.drops > 0
+        ):
+            return max_alloc.copy()
+        if lat_ratio > 1.0 + cfg.alpha_frac:
+            return np.minimum(current * 1.5 + 0.5, max_alloc)
+
+        new_alloc = current.copy()
+        self._pending = []
+        for tier in range(len(current)):
+            deltas = set(_ABS_DELTAS) | {current[tier] * r for r in _REL_DELTAS}
+            best_delta, best_score = 0.0, -np.inf
+            for delta in deltas:
+                target = float(np.clip(current[tier] + delta, min_alloc[tier], max_alloc[tier]))
+                real_delta = target - current[tier]
+                if real_delta < 0:
+                    if lat_ratio > 1.0:
+                        continue  # no reclamation while violating
+                    if busy[tier] / max(target, 1e-9) > cfg.util_cap:
+                        continue  # utilization cap
+                key = (state, tier, self._bucket(target))
+                gain = self._info_gain(key)
+                score = self._op_coefficient(real_delta, lat_ratio) * gain
+                # Small jitter breaks ties between equally unexplored arms.
+                score += self._rng.uniform(0, 1e-6)
+                if score > best_score:
+                    best_score, best_delta = score, real_delta
+            new_alloc[tier] = current[tier] + best_delta
+            self._pending.append((state, tier, self._bucket(new_alloc[tier])))
+        return new_alloc
+
+    def observe(self, met_qos: bool) -> None:
+        """Update the Bernoulli estimates with the step's QoS outcome."""
+        for key in self._pending:
+            arm = self._stats.setdefault(key, _ArmStats())
+            arm.total += 1
+            if met_qos:
+                arm.meets += 1
+        self._pending = []
+
+    @property
+    def n_arms_visited(self) -> int:
+        return len(self._stats)
+
+
+class RandomCollectPolicy:
+    """Blind random exploration of the allocation box (Figure 10b).
+
+    Samples allocations uniformly over the feasible space — including
+    regions that never occur in operation and contain no points near
+    the QoS boundary — so the trained model's picture of the boundary
+    is poor and reclamation decisions become unreliable.
+
+    ``hold_prob`` keeps the current allocation for a few intervals at a
+    time so consecutive telemetry windows are self-consistent.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, hold_prob: float = 0.7) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.hold_prob = hold_prob
+
+    def decide(self, cluster: ClusterSimulator) -> np.ndarray:
+        current = cluster.current_alloc
+        if self._rng.random() < self.hold_prob:
+            return current.copy()
+        span = cluster.max_alloc - cluster.min_alloc
+        return cluster.min_alloc + self._rng.random(len(current)) * span
+
+    def observe(self, met_qos: bool) -> None:  # stateless
+        return
+
+
+class AutoscaleCollectPolicy:
+    """Collect while a utilization autoscaler manages the cluster
+    (Figure 10a).
+
+    The autoscaler steers away from violations, so the dataset contains
+    almost none and the model underestimates latency near the boundary.
+    """
+
+    name = "autoscale"
+
+    def __init__(self, manager) -> None:
+        self._manager = manager
+
+    def decide(self, cluster: ClusterSimulator) -> np.ndarray:
+        alloc = self._manager.decide(cluster.telemetry)
+        if alloc is None:
+            return cluster.current_alloc
+        return np.clip(alloc, cluster.min_alloc, cluster.max_alloc)
+
+    def observe(self, met_qos: bool) -> None:
+        return
+
+
+@dataclass
+class CollectionResult:
+    dataset: SinanDataset
+    logs: list[TelemetryLog] = field(default_factory=list)
+
+
+class DataCollector:
+    """Runs a collection policy over a sweep of load levels.
+
+    Parameters
+    ----------
+    cluster_factory:
+        ``(users, seed) -> ClusterSimulator`` building a fresh episode at
+        a given constant load.
+    config:
+        Collection knobs (QoS, horizon, caps).
+    """
+
+    def __init__(
+        self,
+        cluster_factory: Callable[[float, int], ClusterSimulator],
+        config: CollectionConfig,
+    ) -> None:
+        self.cluster_factory = cluster_factory
+        self.config = config
+
+    def collect(
+        self,
+        policy,
+        loads: list[float],
+        seconds_per_load: int = 120,
+        seed: int = 0,
+    ) -> CollectionResult:
+        """Collect ``seconds_per_load`` intervals at each load level.
+
+        Each load level is a fresh episode (drained queues), mirroring
+        the paper's multi-hour collection across request rates; the
+        per-episode logs are converted into aligned samples and
+        concatenated.
+        """
+        cfg = self.config
+        datasets: list[SinanDataset] = []
+        logs: list[TelemetryLog] = []
+        for i, users in enumerate(loads):
+            cluster = self.cluster_factory(users, seed + i)
+            for _ in range(seconds_per_load):
+                alloc = policy.decide(cluster)
+                stats = cluster.step(alloc)
+                policy.observe(cfg.qos.latency_of(stats) <= cfg.qos.latency_ms)
+            datasets.append(
+                build_dataset(
+                    cluster.telemetry,
+                    cluster.graph,
+                    cfg.qos,
+                    n_timesteps=cfg.n_timesteps,
+                    horizon=cfg.horizon,
+                    meta={"policy": policy.name, "users": users},
+                )
+            )
+            logs.append(cluster.telemetry)
+        return CollectionResult(SinanDataset.concatenate(datasets), logs)
+
+
+__all__ = [
+    "CollectionConfig",
+    "CollectPolicy",
+    "BanditExplorer",
+    "RandomCollectPolicy",
+    "AutoscaleCollectPolicy",
+    "DataCollector",
+    "CollectionResult",
+]

@@ -1,0 +1,145 @@
+"""Deployment roles: the paper's Figure 8 component split.
+
+Sinan runs as three cooperating components (paper Section 4.1):
+
+* **per-node agents** that read each server's cgroup counters and apply
+  CPU limits to the containers placed there,
+* a **prediction service** hosting the ML models (in the paper, on a
+  GPU box) answering scoring queries,
+* a **centralized scheduler** with global visibility that gathers the
+  agents' reports each interval, queries the prediction service, and
+  pushes the chosen allocation back to the agents.
+
+The simulator itself is in-process, so these classes mainly make the
+distribution boundary explicit: what data crosses it (telemetry up,
+allocations down, feature batches to the model) and what stays local.
+They are the natural seams to replace with RPC in a real deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.manager import Manager
+from repro.core.predictor import HybridPredictor
+from repro.sim.cluster import ClusterSimulator
+from repro.sim.telemetry import IntervalStats, TelemetryLog
+
+
+@dataclass(frozen=True)
+class NodePlacement:
+    """Static tier-to-node placement (one microservice per container)."""
+
+    node_of_tier: tuple[int, ...]
+
+    @classmethod
+    def round_robin(cls, n_tiers: int, n_nodes: int) -> "NodePlacement":
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        return cls(tuple(i % n_nodes for i in range(n_tiers)))
+
+    @property
+    def n_nodes(self) -> int:
+        return max(self.node_of_tier) + 1 if self.node_of_tier else 0
+
+    def tiers_on(self, node: int) -> list[int]:
+        return [i for i, n in enumerate(self.node_of_tier) if n == node]
+
+
+class NodeAgent:
+    """Per-server agent: reports local telemetry, enforces local limits.
+
+    In the paper this wraps Docker's cgroup interface; here it slices
+    the cluster-wide telemetry down to the tiers placed on its node.
+    """
+
+    def __init__(self, node_id: int, tier_indices: list[int]) -> None:
+        self.node_id = node_id
+        self.tier_indices = list(tier_indices)
+        self._pending_limits: np.ndarray | None = None
+
+    def report(self, stats: IntervalStats) -> dict:
+        """The per-interval usage report sent to the central scheduler."""
+        idx = self.tier_indices
+        return {
+            "node": self.node_id,
+            "tiers": list(idx),
+            "cpu_util": stats.cpu_util[idx].copy(),
+            "cpu_alloc": stats.cpu_alloc[idx].copy(),
+            "rss_mb": stats.rss_mb[idx].copy(),
+            "rx_pps": stats.rx_pps[idx].copy(),
+            "tx_pps": stats.tx_pps[idx].copy(),
+        }
+
+    def enforce(self, limits: np.ndarray) -> None:
+        """Stage this node's slice of the new allocation."""
+        limits = np.asarray(limits, dtype=float)
+        if limits.shape != (len(self.tier_indices),):
+            raise ValueError("limits must match this node's tier count")
+        self._pending_limits = limits
+
+    @property
+    def pending_limits(self) -> np.ndarray | None:
+        return self._pending_limits
+
+
+class PredictionService:
+    """Model-hosting boundary: feature batches in, scores out.
+
+    Stateless between calls; everything the models need crosses the
+    boundary explicitly, which is what lets the paper host the models on
+    a separate GPU server with ~1% of the decision interval as latency.
+    """
+
+    def __init__(self, predictor: HybridPredictor) -> None:
+        self._predictor = predictor
+        self.queries = 0
+
+    def score(
+        self, log: TelemetryLog, candidates: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        self.queries += 1
+        return self._predictor.predict_candidates(log, candidates)
+
+
+class CentralScheduler:
+    """Glue: agents' reports -> manager decision -> agents' enforcement.
+
+    Wraps any :class:`~repro.core.manager.Manager` (Sinan or a baseline)
+    and drives one cluster; :meth:`tick` is one decision interval.
+    """
+
+    def __init__(
+        self,
+        manager: Manager,
+        cluster: ClusterSimulator,
+        n_nodes: int = 4,
+    ) -> None:
+        self.manager = manager
+        self.cluster = cluster
+        self.placement = NodePlacement.round_robin(cluster.n_tiers, n_nodes)
+        self.agents = [
+            NodeAgent(node, self.placement.tiers_on(node))
+            for node in range(self.placement.n_nodes)
+        ]
+        self.reports: list[list[dict]] = []
+
+    def tick(self) -> IntervalStats:
+        """One decision interval: decide, distribute, step, gather."""
+        alloc = self.manager.decide(self.cluster.telemetry)
+        if alloc is not None:
+            for agent in self.agents:
+                agent.enforce(np.asarray(alloc)[agent.tier_indices])
+        stats = self.cluster.step(alloc)
+        self.reports.append([agent.report(stats) for agent in self.agents])
+        return stats
+
+    def run(self, duration: int) -> TelemetryLog:
+        for _ in range(duration):
+            self.tick()
+        return self.cluster.telemetry
+
+
+__all__ = ["NodePlacement", "NodeAgent", "PredictionService", "CentralScheduler"]

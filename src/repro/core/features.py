@@ -1,0 +1,137 @@
+"""Feature encoding: from telemetry windows to CNN inputs.
+
+Per paper Section 3.1 the latency predictor consumes three inputs built
+purely from cgroup metrics and gateway latencies (no per-request
+tracing):
+
+* ``X_RH`` — a 3D "image" (F resource channels x N tiers x T
+  timestamps) of per-tier utilization history, with consecutive tiers in
+  adjacent rows,
+* ``X_LH`` — the (T x M) end-to-end latency-percentile history,
+* ``X_RC`` — the (N,) resource configuration examined for the next
+  timestep.
+
+``build_dataset`` turns a recorded episode (telemetry log) into aligned
+training samples: the candidate allocation of sample *i* is the
+allocation that was actually applied in interval *i+1*, the latency
+target is what interval *i+1* measured, and the violation label looks
+``k`` intervals ahead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qos import QoSTarget
+from repro.sim.graph import AppGraph
+from repro.sim.telemetry import IntervalStats, TelemetryLog
+from repro.ml.dataset import SinanDataset
+
+
+class WindowEncoder:
+    """Builds raw (unnormalized) model inputs from telemetry windows."""
+
+    def __init__(self, graph: AppGraph, n_timesteps: int = 5) -> None:
+        if n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        self.graph = graph
+        self.n_timesteps = n_timesteps
+
+    @property
+    def n_channels(self) -> int:
+        return 6  # see IntervalStats.resource_matrix
+
+    def encode_window(
+        self, window: list[IntervalStats], candidate_alloc: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode one sample from ``n_timesteps`` intervals of history.
+
+        Returns ``(X_RH, X_LH, X_RC)`` with shapes ``(F, N, T)``,
+        ``(T, M)`` and ``(N,)``.
+        """
+        if len(window) != self.n_timesteps:
+            raise ValueError(
+                f"window must hold {self.n_timesteps} intervals, got {len(window)}"
+            )
+        x_rh = np.stack([s.resource_matrix() for s in window], axis=2)
+        x_lh = np.stack([s.latency_ms for s in window], axis=0)
+        x_rc = np.asarray(candidate_alloc, dtype=float)
+        if x_rc.shape != (self.graph.n_tiers,):
+            raise ValueError("candidate_alloc has wrong shape")
+        return x_rh, x_lh, x_rc
+
+    def encode_log(
+        self, log: TelemetryLog, candidate_alloc: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode the latest window of an episode (online inference)."""
+        return self.encode_window(log.window(self.n_timesteps), candidate_alloc)
+
+    def encode_candidates(
+        self, log: TelemetryLog, candidates: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Encode a batch of candidate allocations sharing one history.
+
+        ``candidates`` has shape ``(B, N)``; the history tensors are
+        broadcast, so one CNN forward evaluates every allocation the
+        scheduler is considering.
+        """
+        window = log.window(self.n_timesteps)
+        x_rh = np.stack([s.resource_matrix() for s in window], axis=2)
+        x_lh = np.stack([s.latency_ms for s in window], axis=0)
+        b = len(candidates)
+        return (
+            np.broadcast_to(x_rh, (b, *x_rh.shape)).copy(),
+            np.broadcast_to(x_lh, (b, *x_lh.shape)).copy(),
+            np.asarray(candidates, dtype=float),
+        )
+
+
+def build_dataset(
+    log: TelemetryLog,
+    graph: AppGraph,
+    qos: QoSTarget,
+    n_timesteps: int = 5,
+    horizon: int = 3,
+    meta: dict | None = None,
+) -> SinanDataset:
+    """Convert one recorded episode into an aligned training dataset.
+
+    Sample *i* pairs the history window ending at interval *i* with the
+    allocation applied during interval *i+1* (the "examined resource
+    configuration"), the measured tail latencies of interval *i+1*, and
+    a violation flag over intervals *i+1 .. i+horizon*.
+    """
+    encoder = WindowEncoder(graph, n_timesteps)
+    n = len(log)
+    if n < n_timesteps + 1:
+        raise ValueError(
+            f"episode too short: {n} intervals, need > {n_timesteps}"
+        )
+    latency_series = np.array([qos.latency_of(s) for s in log])
+    labels = qos.violation_labels(latency_series, horizon)
+
+    x_rh_list, x_lh_list, x_rc_list, y_lat_list, y_viol_list = [], [], [], [], []
+    for i in range(n_timesteps - 1, n - 1):
+        window = [log[j] for j in range(i - n_timesteps + 1, i + 1)]
+        nxt = log[i + 1]
+        x_rh, x_lh, x_rc = encoder.encode_window(window, nxt.cpu_alloc)
+        x_rh_list.append(x_rh)
+        x_lh_list.append(x_lh)
+        x_rc_list.append(x_rc)
+        y_lat_list.append(nxt.latency_ms)
+        y_viol_list.append(labels[i + 1])
+
+    base_meta = {"app": graph.name, "qos_ms": qos.latency_ms, "horizon": horizon}
+    if meta:
+        base_meta.update(meta)
+    return SinanDataset(
+        X_RH=np.stack(x_rh_list),
+        X_LH=np.stack(x_lh_list),
+        X_RC=np.stack(x_rc_list),
+        y_lat=np.stack(y_lat_list),
+        y_viol=np.array(y_viol_list),
+        meta=base_meta,
+    )
+
+
+__all__ = ["WindowEncoder", "build_dataset"]

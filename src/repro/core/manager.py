@@ -1,0 +1,41 @@
+"""Resource-manager interface shared by Sinan and the baselines.
+
+A manager is called once per 1 s decision interval with the episode's
+telemetry log and returns the per-tier CPU limits for the next interval
+(or ``None`` to keep the current allocation) — exactly the control
+surface the paper's centralized scheduler has over its per-node agents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.telemetry import TelemetryLog
+
+
+class Manager:
+    """Base class for resource managers."""
+
+    name = "manager"
+
+    def decide(self, log: TelemetryLog) -> np.ndarray | None:
+        """Return the next per-tier allocation, or ``None`` to hold."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any per-episode state (called between episodes)."""
+
+
+class StaticManager(Manager):
+    """Fixed allocation — the simplest possible baseline."""
+
+    name = "static"
+
+    def __init__(self, alloc: np.ndarray) -> None:
+        self.alloc = np.asarray(alloc, dtype=float)
+
+    def decide(self, log: TelemetryLog) -> np.ndarray | None:
+        return self.alloc.copy()
+
+
+__all__ = ["Manager", "StaticManager"]

@@ -1,0 +1,63 @@
+"""QoS targets and violation labelling.
+
+The paper defines QoS on the end-to-end 99th-percentile latency per 1 s
+interval: 200 ms for Hotel Reservation, 500 ms for Social Network
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.telemetry import LATENCY_PERCENTILES, IntervalStats
+
+
+@dataclass(frozen=True)
+class QoSTarget:
+    """Tail-latency service-level objective."""
+
+    latency_ms: float
+    percentile: int = 99
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+        if self.percentile not in LATENCY_PERCENTILES:
+            raise ValueError(
+                f"percentile must be one of {LATENCY_PERCENTILES}"
+            )
+
+    @property
+    def percentile_index(self) -> int:
+        return LATENCY_PERCENTILES.index(self.percentile)
+
+    def latency_of(self, stats: IntervalStats) -> float:
+        """The interval's latency at the QoS percentile (ms)."""
+        return float(stats.latency_ms[self.percentile_index])
+
+    def violated(self, stats: IntervalStats) -> bool:
+        return self.latency_of(stats) > self.latency_ms
+
+    def violation_labels(self, latency_series: np.ndarray, horizon: int) -> np.ndarray:
+        """Label each interval: does a violation occur within ``horizon``?
+
+        ``labels[i] = 1`` iff any of ``latency_series[i .. i+horizon-1]``
+        exceeds the target — the Boosted-Trees training label of the
+        paper ("anticipating a QoS violation over the next 5 intervals").
+        The tail, where the full horizon is unavailable, is labelled from
+        the remaining intervals.
+        """
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        series = np.asarray(latency_series, dtype=float)
+        violated = series > self.latency_ms
+        labels = np.zeros(len(series))
+        for offset in range(horizon):
+            shifted = violated[offset:]
+            labels[: len(shifted)] = np.maximum(labels[: len(shifted)], shifted)
+        return labels
+
+
+__all__ = ["QoSTarget"]

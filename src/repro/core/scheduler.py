@@ -1,0 +1,225 @@
+"""Sinan's online scheduler (paper Section 4.3).
+
+Once per decision interval the scheduler scores the Table 1 candidate
+actions with the hybrid model and applies the paper's selection rules:
+
+1. exclude actions whose predicted tail latency exceeds
+   ``QoS - RMSE_val`` (the validation error is the safety margin);
+2. filter by predicted violation probability with two thresholds
+   ``p_d < p_u``: holding is acceptable while its violation probability
+   is below ``p_u``; a scale-down is acceptable only below ``p_d``; if
+   even holding is risky, only scale-ups below ``p_u`` are acceptable,
+   and if none exists all tiers are scaled to their maximum;
+3. among acceptable actions, take the one using the least total CPU.
+
+A safety mechanism guards against model drift: when a QoS violation
+arrives that the model did not predict, the scheduler immediately
+upscales every tier, counts the misprediction, and — past a trust
+threshold — becomes more conservative about reclaiming resources (in
+the paper's deployments the trust never had to drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.actions import Action, ActionKind, ActionSpace
+from repro.core.manager import Manager
+from repro.core.predictor import HybridPredictor
+from repro.core.qos import QoSTarget
+from repro.sim.telemetry import TelemetryLog
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler thresholds and safety knobs."""
+
+    p_down: float | None = 0.02
+    """Scale-down acceptance threshold (the paper's user-defined p_d);
+    ``None`` uses the threshold calibrated on validation data."""
+
+    p_up: float | None = 0.08
+    """Hold/scale-up acceptance threshold (the paper's user-defined p_u,
+    sized so QoS misses stay rare); ``None`` uses the calibrated one."""
+
+    victim_window: int = 5
+    """Recently-downscaled tiers stay "victims" for this many cycles."""
+
+    trust_threshold: int = 10
+    """Unpredicted violations before the scheduler turns conservative."""
+
+    recovery_boost: float = 1.3
+    """Multiplicative upscale applied on an unpredicted violation."""
+
+    reclaim_latency_frac: float = 0.8
+    """Resource reclamation is allowed only while measured tail latency
+    is below this fraction of QoS (the paper disables reclamation when
+    latency exceeds its expected value)."""
+
+    prob_smoothing: float = 0.5
+    """EWMA weight on the hold action's violation probability: damps
+    single-interval noise in the Boosted-Trees output so one optimistic
+    blip cannot trigger a reclamation streak."""
+
+    down_cooldown: int = 3
+    """Intervals to wait after any upscale/violation before reclaiming
+    resources again (favors stable allocations, paper Section 4.3)."""
+
+
+class OnlineScheduler(Manager):
+    """QoS-aware allocation search over the pruned action space."""
+
+    name = "sinan"
+
+    def __init__(
+        self,
+        predictor: HybridPredictor,
+        action_space: ActionSpace,
+        qos: QoSTarget,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.action_space = action_space
+        self.qos = qos
+        self.config = config or SchedulerConfig()
+        calibrated_down, calibrated_up = predictor.thresholds
+        self.p_down = (
+            self.config.p_down if self.config.p_down is not None else calibrated_down
+        )
+        self.p_up = self.config.p_up if self.config.p_up is not None else calibrated_up
+        self.reset()
+
+    def reset(self) -> None:
+        self.mispredictions = 0
+        self.decisions = 0
+        self._last_predicted_safe = True
+        self._hold_p_ewma = 0.0
+        self._cooldown = 0
+        self._victim_age = np.full(self.action_space.n_tiers, np.inf)
+        self.prediction_trace: list[dict[str, float]] = []
+        """Per-decision record of predicted vs measured latency and the
+        hold action's violation probability (drives paper Figure 12)."""
+
+    # ------------------------------------------------------------------
+
+    @property
+    def trusted(self) -> bool:
+        """False once mispredictions exceed the trust threshold."""
+        return self.mispredictions <= self.config.trust_threshold
+
+    def decide(self, log: TelemetryLog) -> np.ndarray | None:
+        if len(log) == 0:
+            return None
+        latest = log.latest
+        current = latest.cpu_alloc
+        measured = self.qos.latency_of(latest)
+        violated_now = measured > self.qos.latency_ms
+        self.decisions += 1
+        self._victim_age += 1
+
+        # Safety: an unpredicted violation triggers an immediate upscale.
+        if violated_now and self._last_predicted_safe:
+            self.mispredictions += 1
+            self._last_predicted_safe = False
+            self._cooldown = self.config.down_cooldown
+            boosted = np.minimum(
+                current * self.config.recovery_boost + 0.2,
+                self.action_space.max_alloc,
+            )
+            self._record(measured, np.nan, 1.0)
+            return boosted
+
+        self._cooldown = max(self._cooldown - 1, 0)
+        allow_down = (
+            measured < self.config.reclaim_latency_frac * self.qos.latency_ms
+            and self._cooldown == 0
+            and self.trusted
+        )
+        victims = self._victim_age <= self.config.victim_window
+        actions = self.action_space.candidates(
+            current,
+            latest.cpu_util,
+            victims=victims,
+            allow_scale_down=allow_down,
+        )
+        candidates = np.stack([a.alloc for a in actions])
+        latency, prob = self.predictor.predict_candidates(log, candidates)
+        pred_qos_lat = latency[:, self.qos.percentile_index]
+
+        chosen_idx = self._select(actions, pred_qos_lat, prob)
+        if chosen_idx is not None:
+            chosen = actions[chosen_idx]
+            self._last_predicted_safe = prob[chosen_idx] < self.p_up
+            self._record(measured, float(pred_qos_lat[chosen_idx]), float(prob[chosen_idx]))
+        else:  # fallback to max allocation
+            chosen = self.action_space.max_allocation_action()
+            self._last_predicted_safe = False
+            self._record(measured, np.nan, 1.0)
+
+        if chosen.kind in (
+            ActionKind.SCALE_UP,
+            ActionKind.SCALE_UP_ALL,
+            ActionKind.SCALE_UP_VICTIM,
+        ):
+            self._cooldown = self.config.down_cooldown
+        went_down = chosen.alloc < current - 1e-9
+        self._victim_age[went_down] = 0
+        return chosen.alloc
+
+    def _select(
+        self, actions: list[Action], pred_lat: np.ndarray, prob: np.ndarray
+    ) -> int | None:
+        """Index of the chosen action, or ``None`` for the max-allocation
+        safety fallback."""
+        margin = self.qos.latency_ms - self.predictor.rmse_val
+        hold_idx = next(
+            i for i, a in enumerate(actions) if a.kind is ActionKind.HOLD
+        )
+        w = self.config.prob_smoothing
+        self._hold_p_ewma = (1.0 - w) * self._hold_p_ewma + w * prob[hold_idx]
+        hold_ok = self._hold_p_ewma < self.p_up and pred_lat[hold_idx] <= margin
+
+        acceptable: list[int] = []
+        for i, action in enumerate(actions):
+            if pred_lat[i] > margin:
+                continue
+            if action.kind in (ActionKind.SCALE_DOWN, ActionKind.SCALE_DOWN_BATCH):
+                if prob[i] < self.p_down:
+                    acceptable.append(i)
+            elif action.kind is ActionKind.HOLD:
+                if hold_ok:
+                    acceptable.append(i)
+            else:  # scale ups
+                if prob[i] < self.p_up:
+                    acceptable.append(i)
+
+        if not acceptable:
+            return None
+        if hold_ok:
+            # Stable region: only leave hold for a cheaper (scale-down)
+            # action; never pay for an upscale the model deems unneeded.
+            downs = [
+                i
+                for i in acceptable
+                if actions[i].total_cpu < actions[hold_idx].total_cpu - 1e-9
+            ]
+            return min(downs, key=lambda i: actions[i].total_cpu, default=hold_idx)
+        ups = [i for i in acceptable if actions[i].kind not in
+               (ActionKind.SCALE_DOWN, ActionKind.SCALE_DOWN_BATCH, ActionKind.HOLD)]
+        if not ups:
+            return None
+        return min(ups, key=lambda i: actions[i].total_cpu)
+
+    def _record(self, measured: float, predicted: float, p_viol: float) -> None:
+        self.prediction_trace.append(
+            {
+                "measured_ms": measured,
+                "predicted_ms": predicted,
+                "p_violation": p_viol,
+            }
+        )
+
+
+__all__ = ["OnlineScheduler", "SchedulerConfig"]

@@ -1,0 +1,68 @@
+"""SinanManager: the complete resource manager.
+
+Ties together the trained hybrid predictor and the online scheduler
+behind the common :class:`~repro.core.manager.Manager` interface, so it
+can be dropped into the same experiment harness as the autoscaling and
+PowerChief baselines (paper Section 5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.actions import ActionSpace
+from repro.core.manager import Manager
+from repro.core.predictor import HybridPredictor
+from repro.core.qos import QoSTarget
+from repro.core.scheduler import OnlineScheduler, SchedulerConfig
+from repro.sim.graph import AppGraph
+from repro.sim.telemetry import TelemetryLog
+
+
+class SinanManager(Manager):
+    """QoS-aware, ML-driven manager for one application deployment."""
+
+    name = "Sinan"
+
+    def __init__(
+        self,
+        predictor: HybridPredictor,
+        qos: QoSTarget,
+        graph: AppGraph | None = None,
+        scheduler_config: SchedulerConfig | None = None,
+        action_space: ActionSpace | None = None,
+    ) -> None:
+        graph = graph or predictor.graph
+        if action_space is None:
+            action_space = ActionSpace(graph.min_alloc(), graph.max_alloc())
+        self.predictor = predictor
+        self.qos = qos
+        self.graph = graph
+        self.scheduler = OnlineScheduler(predictor, action_space, qos, scheduler_config)
+
+    def decide(self, log: TelemetryLog) -> np.ndarray | None:
+        return self.scheduler.decide(log)
+
+    def reset(self) -> None:
+        self.scheduler.reset()
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the Figure 12 timeline and diagnostics)
+    # ------------------------------------------------------------------
+
+    @property
+    def prediction_trace(self) -> list[dict[str, float]]:
+        """Per-decision predicted vs. measured latency and violation
+        probability (paper Figure 12's middle column)."""
+        return self.scheduler.prediction_trace
+
+    @property
+    def mispredictions(self) -> int:
+        return self.scheduler.mispredictions
+
+    @property
+    def trusted(self) -> bool:
+        return self.scheduler.trusted
+
+
+__all__ = ["SinanManager"]

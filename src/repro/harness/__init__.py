@@ -1,0 +1,33 @@
+"""Experiment harness: episodes, the end-to-end training pipeline, and
+report formatting used by the benchmark suite."""
+
+from repro.harness.experiment import EpisodeResult, run_episode, sweep_loads
+from repro.harness.pipeline import (
+    AppSpec,
+    Budget,
+    BUDGETS,
+    app_spec,
+    make_cluster,
+    collect_training_data,
+    get_trained_predictor,
+    build_sinan_pipeline,
+    resolve_budget,
+)
+from repro.harness.reporting import format_table, format_series
+
+__all__ = [
+    "EpisodeResult",
+    "run_episode",
+    "sweep_loads",
+    "AppSpec",
+    "Budget",
+    "BUDGETS",
+    "app_spec",
+    "make_cluster",
+    "collect_training_data",
+    "get_trained_predictor",
+    "build_sinan_pipeline",
+    "resolve_budget",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,127 @@
+"""Episode analysis: violation episodes, drain times, utilization stats.
+
+Post-processing helpers over a :class:`~repro.sim.telemetry.TelemetryLog`
+used by the benchmarks, the examples, and operators inspecting a run —
+the paper's "execution logs ... and log processing scripts" (Appendix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.qos import QoSTarget
+from repro.sim.telemetry import TelemetryLog
+
+
+@dataclass(frozen=True)
+class ViolationEpisode:
+    """One contiguous run of QoS-violating intervals."""
+
+    start: int
+    end: int
+    """Half-open interval indices [start, end)."""
+
+    peak_ms: float
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+def violation_episodes(log: TelemetryLog, qos: QoSTarget) -> list[ViolationEpisode]:
+    """Contiguous QoS-violation episodes in an episode's telemetry.
+
+    The episode structure is the delayed-queueing signature: a single
+    trigger shows up as one multi-interval episode whose length is the
+    queue-drain time.
+    """
+    latency = np.array([qos.latency_of(s) for s in log])
+    violating = latency > qos.latency_ms
+    episodes: list[ViolationEpisode] = []
+    start = None
+    for i, bad in enumerate(violating):
+        if bad and start is None:
+            start = i
+        elif not bad and start is not None:
+            episodes.append(
+                ViolationEpisode(start, i, float(latency[start:i].max()))
+            )
+            start = None
+    if start is not None:
+        episodes.append(
+            ViolationEpisode(start, len(violating), float(latency[start:].max()))
+        )
+    return episodes
+
+
+def mean_drain_time(log: TelemetryLog, qos: QoSTarget) -> float:
+    """Average violation-episode length (intervals); 0 when QoS held."""
+    episodes = violation_episodes(log, qos)
+    if not episodes:
+        return 0.0
+    return float(np.mean([e.duration for e in episodes]))
+
+
+@dataclass(frozen=True)
+class TierStats:
+    """Per-tier utilization/allocation summary over an episode."""
+
+    name: str
+    mean_alloc: float
+    max_alloc: float
+    mean_util: float
+    p95_util: float
+
+
+def tier_stats(log: TelemetryLog, tier_names: list[str]) -> list[TierStats]:
+    """Per-tier summary, ordered by mean allocation (largest first)."""
+    alloc = log.alloc_matrix()
+    util = np.stack([s.cpu_util for s in log])
+    stats = [
+        TierStats(
+            name=name,
+            mean_alloc=float(alloc[:, i].mean()),
+            max_alloc=float(alloc[:, i].max()),
+            mean_util=float(util[:, i].mean()),
+            p95_util=float(np.percentile(util[:, i], 95)),
+        )
+        for i, name in enumerate(tier_names)
+    ]
+    return sorted(stats, key=lambda s: -s.mean_alloc)
+
+
+def allocation_churn(log: TelemetryLog) -> float:
+    """Mean absolute per-interval change of total CPU (cores/interval).
+
+    High churn indicates an unstable manager (the paper's p_d threshold
+    exists to avoid resource fluctuation)."""
+    total = log.total_cpu_series()
+    if len(total) < 2:
+        return 0.0
+    return float(np.mean(np.abs(np.diff(total))))
+
+
+def summarize(log: TelemetryLog, qos: QoSTarget, tier_names: list[str]) -> dict:
+    """One-call episode summary used by reports."""
+    return {
+        "qos_fraction": log.qos_meet_fraction(qos.latency_ms),
+        "mean_cpu": float(log.total_cpu_series().mean()),
+        "max_cpu": float(log.total_cpu_series().max()),
+        "violation_episodes": len(violation_episodes(log, qos)),
+        "mean_drain_time_s": mean_drain_time(log, qos),
+        "allocation_churn": allocation_churn(log),
+        "hottest_tiers": [s.name for s in tier_stats(log, tier_names)[:3]],
+    }
+
+
+__all__ = [
+    "ViolationEpisode",
+    "violation_episodes",
+    "mean_drain_time",
+    "TierStats",
+    "tier_stats",
+    "allocation_churn",
+    "summarize",
+]

@@ -1,0 +1,105 @@
+"""Deployment episodes: one manager driving one cluster.
+
+Mirrors the paper's evaluation loop (Section 5.3): the manager is
+queried once per 1 s interval; the episode records the aggregate CPU
+allocation over time and the fraction of intervals meeting QoS — the
+three panels of paper Figure 11 (mean CPU, max CPU, P(meet QoS)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.manager import Manager
+from repro.core.qos import QoSTarget
+from repro.sim.cluster import ClusterSimulator
+from repro.sim.telemetry import TelemetryLog
+
+
+@dataclass
+class EpisodeResult:
+    """Summary of one manager/load episode."""
+
+    manager_name: str
+    users: float
+    qos_ms: float
+    mean_total_cpu: float
+    max_total_cpu: float
+    qos_fraction: float
+    duration: int
+    telemetry: TelemetryLog
+
+    def row(self) -> list:
+        """Table row for reporting."""
+        return [
+            self.manager_name,
+            f"{self.users:g}",
+            f"{self.mean_total_cpu:.1f}",
+            f"{self.max_total_cpu:.1f}",
+            f"{self.qos_fraction:.3f}",
+        ]
+
+
+def run_episode(
+    manager: Manager,
+    cluster: ClusterSimulator,
+    duration: int,
+    qos: QoSTarget,
+    warmup: int = 10,
+) -> EpisodeResult:
+    """Run ``duration`` decision intervals under ``manager``.
+
+    The first ``warmup`` intervals are excluded from the summary metrics
+    (the manager is converging from the deploy-time allocation), but are
+    retained in the telemetry log.
+    """
+    if duration <= warmup:
+        raise ValueError("duration must exceed warmup")
+    manager.reset()
+    for _ in range(duration):
+        alloc = manager.decide(cluster.telemetry)
+        cluster.step(alloc)
+
+    log = cluster.telemetry
+    p99 = np.array([qos.latency_of(s) for s in log])[warmup:]
+    total_cpu = log.total_cpu_series()[warmup:]
+    users = cluster.workload.pattern.users(0.0)
+    return EpisodeResult(
+        manager_name=manager.name,
+        users=users,
+        qos_ms=qos.latency_ms,
+        mean_total_cpu=float(total_cpu.mean()),
+        max_total_cpu=float(total_cpu.max()),
+        qos_fraction=float(np.mean(p99 <= qos.latency_ms)),
+        duration=duration,
+        telemetry=log,
+    )
+
+
+def sweep_loads(
+    manager_factory: Callable[[], Manager],
+    cluster_factory: Callable[[float, int], ClusterSimulator],
+    loads: list[float],
+    duration: int,
+    qos: QoSTarget,
+    seed: int = 0,
+    warmup: int = 10,
+) -> list[EpisodeResult]:
+    """Run one episode per load level with fresh manager and cluster.
+
+    This is the paper's Figure 11 protocol: for each user count, an
+    independent experiment measuring mean/max CPU allocation and the
+    probability of meeting QoS.
+    """
+    results = []
+    for i, users in enumerate(loads):
+        manager = manager_factory()
+        cluster = cluster_factory(users, seed + i)
+        results.append(run_episode(manager, cluster, duration, qos, warmup))
+    return results
+
+
+__all__ = ["EpisodeResult", "run_episode", "sweep_loads"]

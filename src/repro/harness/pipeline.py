@@ -1,0 +1,317 @@
+"""End-to-end pipeline: application registry, data collection, model
+training, and caching.
+
+The paper's workflow (Appendix A.5) is: generate training data with the
+bandit explorer, train the hybrid model, then deploy the inference
+engine against the cluster.  ``build_sinan_pipeline`` performs all three
+steps; ``get_trained_predictor`` memoizes the expensive middle step both
+in-process and on disk (``.cache/``), so the benchmark suite trains each
+application's model once and reuses it across figures.
+
+Budgets scale the pipeline: ``small`` for unit tests, ``medium`` for the
+benchmark suite, ``large`` for higher-fidelity runs approaching the
+paper's collection scale.  The ``REPRO_BUDGET`` environment variable
+overrides the default budget used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.apps import (
+    HOTEL_QOS_MS,
+    SOCIAL_QOS_MS,
+    hotel_reservation,
+    social_network,
+)
+from repro.core.data_collection import (
+    BanditExplorer,
+    CollectionConfig,
+    DataCollector,
+)
+from repro.core.predictor import HybridPredictor, PredictorConfig
+from repro.core.qos import QoSTarget
+from repro.core.sinan import SinanManager
+from repro.ml.dataset import SinanDataset
+from repro.sim.behaviors import Behavior
+from repro.sim.cluster import (
+    LOCAL_PLATFORM,
+    ClusterSimulator,
+    PlatformSpec,
+)
+from repro.sim.graph import AppGraph
+from repro.workload.generator import RequestMix, Workload
+from repro.workload.mixes import hotel_mix, social_mix
+from repro.workload.patterns import ConstantLoad, LoadPattern
+
+_CACHE_VERSION = 5
+
+
+@dataclass(frozen=True)
+class Budget:
+    """How much data/compute the pipeline spends."""
+
+    name: str
+    collection_loads: int
+    """Number of constant-load levels sampled during collection."""
+
+    seconds_per_load: int
+    """Collection intervals per load level."""
+
+    epochs: int
+    batch_size: int
+
+    refine_rounds: int = 1
+    """On-policy refinement passes: after the initial (bandit-collected)
+    training, data is also collected while the trained Sinan manages the
+    cluster, and the models are retrained on the union.  This is the
+    paper's periodic background retraining (Section 4.2, "retraining can
+    be triggered periodically..."), closing the gap between the
+    exploration distribution and the deployment distribution."""
+
+    @property
+    def total_samples(self) -> int:
+        return self.collection_loads * self.seconds_per_load
+
+
+BUDGETS: dict[str, Budget] = {
+    "small": Budget("small", collection_loads=2, seconds_per_load=60, epochs=8,
+                    batch_size=128, refine_rounds=0),
+    "medium": Budget("medium", collection_loads=6, seconds_per_load=400, epochs=30,
+                     batch_size=256, refine_rounds=1),
+    "large": Budget("large", collection_loads=8, seconds_per_load=700, epochs=40,
+                    batch_size=512, refine_rounds=1),
+}
+
+
+def resolve_budget(budget: str | Budget | None = None) -> Budget:
+    """Resolve a budget name, honoring the REPRO_BUDGET env override."""
+    if isinstance(budget, Budget):
+        return budget
+    name = budget or os.environ.get("REPRO_BUDGET", "medium")
+    try:
+        return BUDGETS[name]
+    except KeyError:
+        raise KeyError(f"unknown budget {name!r}; choose from {sorted(BUDGETS)}") from None
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Per-application evaluation parameters from the paper."""
+
+    name: str
+    graph_factory: Callable[[], AppGraph]
+    qos: QoSTarget
+    mix_factory: Callable[[], RequestMix]
+    fig11_loads: tuple[float, ...]
+    """The user counts swept in Figure 11."""
+
+    collection_load_range: tuple[float, float]
+    """(low, high) user range the collector samples."""
+
+
+_APP_SPECS: dict[str, AppSpec] = {
+    "social_network": AppSpec(
+        name="social_network",
+        graph_factory=social_network,
+        qos=QoSTarget(SOCIAL_QOS_MS),
+        mix_factory=social_mix,
+        fig11_loads=(50, 100, 150, 200, 250, 300, 350, 400, 450),
+        collection_load_range=(50, 480),
+    ),
+    "hotel_reservation": AppSpec(
+        name="hotel_reservation",
+        graph_factory=hotel_reservation,
+        qos=QoSTarget(HOTEL_QOS_MS),
+        mix_factory=hotel_mix,
+        fig11_loads=(1000, 1300, 1600, 1900, 2200, 2500, 2800, 3100, 3400, 3700),
+        collection_load_range=(800, 3900),
+    ),
+}
+
+
+def app_spec(app: str | AppGraph) -> AppSpec:
+    """Look up an application's evaluation parameters by name or graph."""
+    name = app if isinstance(app, str) else app.name
+    try:
+        return _APP_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; choose from {sorted(_APP_SPECS)}"
+        ) from None
+
+
+def make_cluster(
+    graph: AppGraph,
+    users: float,
+    seed: int = 0,
+    mix: RequestMix | None = None,
+    platform: PlatformSpec = LOCAL_PLATFORM,
+    behaviors: tuple[Behavior, ...] = (),
+    pattern: LoadPattern | None = None,
+) -> ClusterSimulator:
+    """Build a fresh episode for ``graph`` at a given load."""
+    spec = app_spec(graph)
+    workload = Workload(
+        graph,
+        pattern or ConstantLoad(users),
+        mix or spec.mix_factory(),
+    )
+    return ClusterSimulator(graph, workload, platform=platform, seed=seed, behaviors=behaviors)
+
+
+def collection_loads(spec: AppSpec, budget: Budget) -> list[float]:
+    """Evenly spaced collection load levels across the app's range."""
+    low, high = spec.collection_load_range
+    return list(np.linspace(low, high, budget.collection_loads))
+
+
+def collect_training_data(
+    graph: AppGraph,
+    budget: str | Budget | None = None,
+    seed: int = 0,
+    platform: PlatformSpec = LOCAL_PLATFORM,
+    mix: RequestMix | None = None,
+    policy=None,
+) -> SinanDataset:
+    """Collect a bandit-explored training dataset for ``graph``."""
+    spec = app_spec(graph)
+    budget = resolve_budget(budget)
+    config = CollectionConfig(qos=spec.qos)
+    policy = policy or BanditExplorer(config, seed=seed)
+    collector = DataCollector(
+        lambda users, s: make_cluster(graph, users, s, mix=mix, platform=platform),
+        config,
+    )
+    result = collector.collect(
+        policy,
+        collection_loads(spec, budget),
+        seconds_per_load=budget.seconds_per_load,
+        seed=seed,
+    )
+    return result.dataset
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", Path(__file__).resolve().parents[3] / ".cache")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+_memory_cache: dict[tuple, HybridPredictor] = {}
+
+
+def get_trained_predictor(
+    app: str | AppGraph,
+    budget: str | Budget | None = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> HybridPredictor:
+    """Train (or load from cache) the hybrid predictor for an app.
+
+    Caching is keyed on (app, budget, seed, cache version); delete the
+    ``.cache`` directory to force retraining.
+    """
+    spec = app_spec(app)
+    budget = resolve_budget(budget)
+    key = (spec.name, budget.name, seed, _CACHE_VERSION)
+    if use_cache and key in _memory_cache:
+        return _memory_cache[key]
+
+    cache_file = _cache_dir() / f"predictor-{spec.name}-{budget.name}-s{seed}-v{_CACHE_VERSION}.pkl"
+    if use_cache and cache_file.exists():
+        with open(cache_file, "rb") as fh:
+            predictor = pickle.load(fh)
+        _memory_cache[key] = predictor
+        return predictor
+
+    graph = spec.graph_factory()
+    dataset = collect_training_data(graph, budget, seed=seed)
+    predictor = HybridPredictor(
+        graph,
+        spec.qos,
+        PredictorConfig(epochs=budget.epochs, batch_size=budget.batch_size),
+        seed=seed,
+    )
+    predictor.train(dataset)
+
+    # On-policy refinement: collect under the trained manager, retrain
+    # on the union (the paper's periodic background retraining).
+    for round_idx in range(budget.refine_rounds):
+        on_policy = _collect_on_policy(
+            predictor, spec, graph, budget, seed=seed + 101 + round_idx
+        )
+        dataset = SinanDataset.concatenate([dataset, on_policy])
+        predictor.train(dataset, seed=seed + 7 + round_idx)
+
+    if use_cache:
+        with open(cache_file, "wb") as fh:
+            pickle.dump(predictor, fh)
+        _memory_cache[key] = predictor
+    return predictor
+
+
+def _collect_on_policy(
+    predictor: HybridPredictor,
+    spec: AppSpec,
+    graph: AppGraph,
+    budget: Budget,
+    seed: int,
+) -> SinanDataset:
+    """Record episodes managed by the trained Sinan across load levels."""
+    from repro.core.features import build_dataset
+    from repro.core.sinan import SinanManager
+
+    datasets = []
+    seconds = max(budget.seconds_per_load // 2, 30)
+    for i, users in enumerate(collection_loads(spec, budget)):
+        manager = SinanManager(predictor, spec.qos, graph)
+        cluster = make_cluster(graph, users, seed=seed + i)
+        for _ in range(seconds):
+            cluster.step(manager.decide(cluster.telemetry))
+        datasets.append(
+            build_dataset(
+                cluster.telemetry,
+                graph,
+                spec.qos,
+                n_timesteps=predictor.config.n_timesteps,
+                horizon=predictor.config.horizon,
+                meta={"policy": "sinan-on-policy", "users": users},
+            )
+        )
+    return SinanDataset.concatenate(datasets)
+
+
+def build_sinan_pipeline(
+    graph: AppGraph,
+    users: float = 100,
+    seed: int = 0,
+    budget: str | Budget | None = None,
+) -> tuple[SinanManager, ClusterSimulator]:
+    """Data collection -> training -> manager + a fresh cluster to run."""
+    spec = app_spec(graph)
+    predictor = get_trained_predictor(graph, budget, seed=seed)
+    manager = SinanManager(predictor, spec.qos, graph)
+    cluster = make_cluster(graph, users, seed=seed + 1000)
+    return manager, cluster
+
+
+__all__ = [
+    "Budget",
+    "BUDGETS",
+    "resolve_budget",
+    "AppSpec",
+    "app_spec",
+    "make_cluster",
+    "collection_loads",
+    "collect_training_data",
+    "get_trained_predictor",
+    "build_sinan_pipeline",
+]

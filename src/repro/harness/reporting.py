@@ -1,0 +1,38 @@
+"""Plain-text report formatting for the benchmark harness.
+
+Each benchmark prints the same rows/series the paper's table or figure
+reports, so a run's stdout is directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y") -> str:
+    """One figure series as aligned x/y columns."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        y_txt = f"{y:.3f}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x!s:>10}  {y_txt}")
+    return "\n".join(lines)
+
+
+__all__ = ["format_table", "format_series"]

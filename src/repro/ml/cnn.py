@@ -1,0 +1,157 @@
+"""The short-term latency predictor: Sinan's CNN (paper Figure 5).
+
+Three input branches are processed independently and concatenated:
+
+* ``X_RH`` — the resource-usage "image" (channels = resource metrics,
+  rows = tiers with consecutive tiers adjacent, columns = timestamps)
+  goes through stacked 3x3 convolutions, so early layers fuse adjacent
+  tiers over short windows and later layers see the whole graph;
+* ``X_LH`` — the latency-percentile history through a dense layer;
+* ``X_RC`` — the candidate allocation through a dense layer.
+
+The concatenation is distilled by a fully-connected layer into the
+compact latent variable ``L_f``, from which a final dense layer predicts
+the next interval's tail latencies (p95-p99).  ``L_f`` is reused as the
+input of the Boosted-Trees violation predictor, which keeps that model
+small and overfit-resistant (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.layers import Conv2D, Dense, Flatten, ReLU
+from repro.ml.network import NeuralRegressor, Sequential
+
+
+@dataclass(frozen=True)
+class CNNConfig:
+    """Architecture hyper-parameters (selected on validation accuracy)."""
+
+    conv_channels: tuple[int, ...] = (12, 12)
+    kernel: int = 3
+    rh_embed: int = 48
+    lh_embed: int = 16
+    rc_embed: int = 24
+    latent_dim: int = 48
+
+
+class LatencyCNN(NeuralRegressor):
+    """CNN latency predictor with an exposed latent variable.
+
+    Parameters
+    ----------
+    n_tiers, n_timesteps, n_channels, n_percentiles:
+        Input tensor dimensions N, T, F, M (paper Figure 6).
+    config:
+        Layer sizing; defaults match a ~70 KB model, the paper's scale.
+    seed:
+        Weight initialization seed.
+    """
+
+    def __init__(
+        self,
+        n_tiers: int,
+        n_timesteps: int = 5,
+        n_channels: int = 6,
+        n_percentiles: int = 5,
+        config: CNNConfig | None = None,
+        seed: int = 0,
+        n_rc_features: int | None = None,
+    ) -> None:
+        cfg = config or CNNConfig()
+        rng = np.random.default_rng(seed)
+        self.config = cfg
+        self.n_tiers = n_tiers
+        self.n_timesteps = n_timesteps
+        self.n_channels = n_channels
+        self.n_percentiles = n_percentiles
+        self.n_rc_features = n_rc_features or n_tiers
+
+        conv_layers: list = []
+        in_ch = n_channels
+        for out_ch in cfg.conv_channels:
+            conv_layers += [Conv2D(in_ch, out_ch, cfg.kernel, rng), ReLU()]
+            in_ch = out_ch
+        conv_layers += [
+            Flatten(),
+            Dense(in_ch * n_tiers * n_timesteps, cfg.rh_embed, rng),
+            ReLU(),
+        ]
+        self.rh_branch = Sequential(*conv_layers)
+        self.lh_branch = Sequential(
+            Flatten(), Dense(n_timesteps * n_percentiles, cfg.lh_embed, rng), ReLU()
+        )
+        self.rc_branch = Sequential(
+            Dense(self.n_rc_features, cfg.rc_embed, rng), ReLU()
+        )
+        concat_dim = cfg.rh_embed + cfg.lh_embed + cfg.rc_embed
+        self.latent_head = Sequential(Dense(concat_dim, cfg.latent_dim, rng), ReLU())
+        self.output_head = Dense(cfg.latent_dim, n_percentiles, rng)
+        self._latent: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def params(self) -> list[np.ndarray]:
+        return (
+            self.rh_branch.params()
+            + self.lh_branch.params()
+            + self.rc_branch.params()
+            + self.latent_head.params()
+            + self.output_head.params()
+        )
+
+    def grads(self) -> list[np.ndarray]:
+        return (
+            self.rh_branch.grads()
+            + self.lh_branch.grads()
+            + self.rc_branch.grads()
+            + self.latent_head.grads()
+            + self.output_head.grads()
+        )
+
+    def forward_batch(self, inputs: tuple[np.ndarray, ...], training: bool = False) -> np.ndarray:
+        x_rh, x_lh, x_rc = inputs
+        h_rh = self.rh_branch.forward(x_rh, training)
+        h_lh = self.lh_branch.forward(x_lh, training)
+        h_rc = self.rc_branch.forward(x_rc, training)
+        self._split = (h_rh.shape[1], h_lh.shape[1], h_rc.shape[1])
+        concat = np.concatenate([h_rh, h_lh, h_rc], axis=1)
+        self._latent = self.latent_head.forward(concat, training)
+        return self.output_head.forward(self._latent, training)
+
+    def backward_batch(self, dout: np.ndarray) -> None:
+        dlatent = self.output_head.backward(dout)
+        dconcat = self.latent_head.backward(dlatent)
+        a, b, _ = self._split
+        self.rh_branch.backward(dconcat[:, :a])
+        self.lh_branch.backward(dconcat[:, a : a + b])
+        self.rc_branch.backward(dconcat[:, a + b :])
+
+    # ------------------------------------------------------------------
+
+    def latent(self, inputs: tuple[np.ndarray, ...], batch_size: int = 4096) -> np.ndarray:
+        """The latent variable ``L_f`` for each sample, shape (B, latent_dim).
+
+        This is the Boosted-Trees input (paper Section 3.2): compact, so
+        the tree model stays small and resistant to overfitting.
+        """
+        n = len(inputs[0])
+        chunks = []
+        for start in range(0, n, batch_size):
+            batch = tuple(x[start : start + batch_size] for x in inputs)
+            self.forward_batch(batch, training=False)
+            chunks.append(self._latent.copy())
+        return np.concatenate(chunks)
+
+    def predict_with_latent(
+        self, inputs: tuple[np.ndarray, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One forward pass returning (latency prediction, latent L_f)."""
+        pred = self.forward_batch(inputs, training=False)
+        return pred, self._latent.copy()
+
+
+__all__ = ["LatencyCNN", "CNNConfig"]

@@ -1,0 +1,182 @@
+"""Dataset containers for the Sinan models.
+
+A sample is one decision interval: the resource-usage history tensor
+``X_RH`` (channels x tiers x timestamps), the latency history ``X_LH``
+(timestamps x percentiles), the candidate allocation ``X_RC`` (tiers),
+the next-interval tail latencies ``y_lat`` (percentiles, ms), and the
+binary label ``y_viol`` — whether QoS is violated within the next ``k``
+intervals (paper Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SinanDataset:
+    """Aligned sample arrays for training/validating the predictors."""
+
+    X_RH: np.ndarray
+    """Resource history, shape (B, F, N, T)."""
+
+    X_LH: np.ndarray
+    """Latency history, shape (B, T, M)."""
+
+    X_RC: np.ndarray
+    """Candidate next-interval allocation, shape (B, N)."""
+
+    y_lat: np.ndarray
+    """Next-interval tail latencies (ms), shape (B, M)."""
+
+    y_viol: np.ndarray
+    """QoS violation within the next k intervals, shape (B,), in {0, 1}."""
+
+    meta: dict = field(default_factory=dict)
+    """Free-form provenance (app name, QoS, collection policy, ...)."""
+
+    def __post_init__(self) -> None:
+        n = len(self.X_RH)
+        for name in ("X_LH", "X_RC", "y_lat", "y_viol"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch: expected {n}")
+
+    def __len__(self) -> int:
+        return len(self.X_RH)
+
+    @property
+    def n_tiers(self) -> int:
+        return self.X_RH.shape[2]
+
+    @property
+    def n_channels(self) -> int:
+        return self.X_RH.shape[1]
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.X_RH.shape[3]
+
+    @property
+    def n_percentiles(self) -> int:
+        return self.y_lat.shape[1]
+
+    def subset(self, idx: np.ndarray) -> "SinanDataset":
+        """Row-indexed view (copy) of the dataset."""
+        return SinanDataset(
+            X_RH=self.X_RH[idx],
+            X_LH=self.X_LH[idx],
+            X_RC=self.X_RC[idx],
+            y_lat=self.y_lat[idx],
+            y_viol=self.y_viol[idx],
+            meta=dict(self.meta),
+        )
+
+    def filter_latency_below(self, threshold_ms: float) -> "SinanDataset":
+        """Keep samples whose next-interval p99 is below ``threshold_ms``.
+
+        Used by the Figure 9 study: truncating the training set below the
+        QoS boundary makes both models overfit badly.
+        """
+        keep = self.y_lat[:, -1] < threshold_ms
+        return self.subset(np.flatnonzero(keep))
+
+    def split(self, train_frac: float = 0.9, rng: np.random.Generator | None = None) -> "TrainValSplit":
+        """Random shuffle + split (paper uses a 9:1 ratio)."""
+        if not (0.0 < train_frac < 1.0):
+            raise ValueError("train_frac must be in (0, 1)")
+        rng = rng or np.random.default_rng(0)
+        order = rng.permutation(len(self))
+        cut = int(len(self) * train_frac)
+        return TrainValSplit(
+            train=self.subset(order[:cut]), val=self.subset(order[cut:])
+        )
+
+    @staticmethod
+    def concatenate(parts: list["SinanDataset"]) -> "SinanDataset":
+        """Concatenate datasets (incremental retraining accumulates data)."""
+        if not parts:
+            raise ValueError("need at least one dataset")
+        return SinanDataset(
+            X_RH=np.concatenate([p.X_RH for p in parts]),
+            X_LH=np.concatenate([p.X_LH for p in parts]),
+            X_RC=np.concatenate([p.X_RC for p in parts]),
+            y_lat=np.concatenate([p.y_lat for p in parts]),
+            y_viol=np.concatenate([p.y_viol for p in parts]),
+            meta=dict(parts[0].meta),
+        )
+
+    def violation_fraction(self) -> float:
+        """Fraction of samples labelled as upcoming QoS violations."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.mean(self.y_viol))
+
+
+@dataclass
+class TrainValSplit:
+    train: SinanDataset
+    val: SinanDataset
+
+
+class FeatureNormalizer:
+    """Per-channel standardization shared by training and deployment.
+
+    Fit on the training split; applied to every model input online so
+    the CNN sees the distribution it was trained on.  Latency channels
+    are scaled by the QoS target rather than standardized, keeping the
+    QoS boundary at a fixed position in feature space (this is what lets
+    the fine-tuned models transfer across platforms with the same
+    architecture, paper Section 5.4).
+    """
+
+    def __init__(self, qos_ms: float) -> None:
+        if qos_ms <= 0:
+            raise ValueError("qos_ms must be positive")
+        self.qos_ms = qos_ms
+        self._rh_mean: np.ndarray | None = None
+        self._rh_std: np.ndarray | None = None
+        self._rc_scale: float | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._rh_mean is not None
+
+    @property
+    def rc_scale(self) -> float:
+        """Scale applied to allocation features (95th pct of training)."""
+        if self._rc_scale is None:
+            raise RuntimeError("normalizer not fitted")
+        return self._rc_scale
+
+    def fit(self, dataset: SinanDataset) -> "FeatureNormalizer":
+        rh = dataset.X_RH
+        self._rh_mean = rh.mean(axis=(0, 2, 3), keepdims=True)
+        self._rh_std = rh.std(axis=(0, 2, 3), keepdims=True) + 1e-6
+        self._rc_scale = float(np.percentile(dataset.X_RC, 95)) or 1.0
+        return self
+
+    def transform(
+        self, X_RH: np.ndarray, X_LH: np.ndarray, X_RC: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not self.fitted:
+            raise RuntimeError("normalizer not fitted")
+        rh = (X_RH - self._rh_mean) / self._rh_std
+        lh = X_LH / self.qos_ms
+        rc = X_RC / self._rc_scale
+        return rh, lh, rc
+
+    def transform_dataset(self, dataset: SinanDataset) -> SinanDataset:
+        rh, lh, rc = self.transform(dataset.X_RH, dataset.X_LH, dataset.X_RC)
+        return SinanDataset(
+            X_RH=rh,
+            X_LH=lh,
+            X_RC=rc,
+            y_lat=dataset.y_lat,
+            y_viol=dataset.y_viol,
+            meta=dict(dataset.meta),
+        )
+
+
+__all__ = ["SinanDataset", "TrainValSplit", "FeatureNormalizer"]

@@ -1,0 +1,257 @@
+"""Neural-network layers with manual backpropagation.
+
+Minimal but complete: every layer implements ``forward``/``backward``
+and exposes parameter/gradient pairs for the optimizers in
+:mod:`repro.ml.optim`.  Convolution uses im2col so the heavy lifting is
+a single matrix multiply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base class: stateless by default (no parameters)."""
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (mutated in place by optimizers)."""
+        return []
+
+    def grads(self) -> list[np.ndarray]:
+        """Gradient arrays, aligned with :meth:`params`."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def n_params(self) -> int:
+        return int(sum(p.size for p in self.params()))
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        scale = np.sqrt(2.0 / in_dim)
+        self.W = rng.normal(0.0, scale, size=(in_dim, out_dim))
+        self.b = np.zeros(out_dim)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        self.dW[...] = self._x.T @ dout
+        self.db[...] = dout.sum(axis=0)
+        return dout @ self.W.T
+
+
+class ReLU(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout * self._mask
+
+
+class Sigmoid(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout * self._y * (1.0 - self._y)
+
+
+class Tanh(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout * (1.0 - self._y * self._y)
+
+
+class Flatten(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout.reshape(self._shape)
+
+
+class Conv2D(Layer):
+    """Stride-1 "same" 2D convolution over (B, C, H, W) tensors.
+
+    In the latency predictor, H indexes tiers and W indexes timestamps,
+    so a k x k kernel fuses k adjacent tiers over k adjacent intervals —
+    how the paper's CNN learns inter-tier dependencies (Section 3.1).
+
+    Implemented with sliding-window views and ``einsum`` (optimized
+    contraction paths), which on small feature maps beats explicit
+    im2col materialization.
+    """
+
+    def __init__(
+        self, in_ch: int, out_ch: int, kernel: int, rng: np.random.Generator
+    ) -> None:
+        if kernel % 2 == 0:
+            raise ValueError("kernel must be odd for 'same' padding")
+        scale = np.sqrt(2.0 / (in_ch * kernel * kernel))
+        self.W = rng.normal(0.0, scale, size=(in_ch, kernel, kernel, out_ch))
+        self.b = np.zeros(out_ch)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self.kernel = kernel
+        self.in_ch = in_ch
+        self.out_ch = out_ch
+
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        B, C, H, W = x.shape
+        if C != self.in_ch:
+            raise ValueError(f"expected {self.in_ch} channels, got {C}")
+        pad = self.kernel // 2
+        self._x_shape = x.shape
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        # (B, C, H, W, k, k) zero-copy view of all kernel positions.
+        self._windows = np.lib.stride_tricks.sliding_window_view(
+            xp, (self.kernel, self.kernel), axis=(2, 3)
+        )
+        out = np.einsum("bchwij,cijo->bhwo", self._windows, self.W, optimize=True)
+        out += self.b
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        B, C, H, W = self._x_shape
+        k = self.kernel
+        pad = k // 2
+        dout_hw = dout.transpose(0, 2, 3, 1)
+        self.dW[...] = np.einsum(
+            "bchwij,bhwo->cijo", self._windows, dout_hw, optimize=True
+        )
+        self.db[...] = dout_hw.sum(axis=(0, 1, 2))
+        # dx: scatter each kernel tap's contribution back onto the input.
+        dwin = np.einsum("bhwo,cijo->bchwij", dout_hw, self.W, optimize=True)
+        dxp = np.zeros((B, C, H + 2 * pad, W + 2 * pad), dtype=dout.dtype)
+        for i in range(k):
+            for j in range(k):
+                dxp[:, :, i : i + H, j : j + W] += dwin[..., i, j]
+        if pad:
+            return dxp[:, :, pad:-pad, pad:-pad]
+        return dxp
+
+
+class LSTMCell(Layer):
+    """Single-layer LSTM over (B, T, D) sequences, returning (B, H).
+
+    Standard gates with fused weight matrix; full backpropagation
+    through time.  Used by the Table 2 LSTM comparison model.
+    """
+
+    def __init__(self, in_dim: int, hidden: int, rng: np.random.Generator) -> None:
+        scale = np.sqrt(1.0 / (in_dim + hidden))
+        self.W = rng.normal(0.0, scale, size=(in_dim + hidden, 4 * hidden))
+        self.b = np.zeros(4 * hidden)
+        # Forget-gate bias starts positive: remember by default.
+        self.b[hidden : 2 * hidden] = 1.0
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self.hidden = hidden
+        self.in_dim = in_dim
+
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        B, T, D = x.shape
+        H = self.hidden
+        h = np.zeros((B, H))
+        c = np.zeros((B, H))
+        self._cache = []
+        self._x = x
+        for t in range(T):
+            z = np.concatenate([x[:, t], h], axis=1)
+            gates = z @ self.W + self.b
+            i = _sigmoid(gates[:, :H])
+            f = _sigmoid(gates[:, H : 2 * H])
+            o = _sigmoid(gates[:, 2 * H : 3 * H])
+            g = np.tanh(gates[:, 3 * H :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            self._cache.append((z, i, f, o, g, c, tanh_c))
+            h, c = h_new, c_new
+        return h
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        B, T, D = self._x.shape
+        H = self.hidden
+        self.dW[...] = 0.0
+        self.db[...] = 0.0
+        dx = np.zeros_like(self._x)
+        dh = dout
+        dc = np.zeros((B, H))
+        for t in reversed(range(T)):
+            z, i, f, o, g, c_prev, tanh_c = self._cache[t]
+            do = dh * tanh_c
+            dc = dc + dh * o * (1.0 - tanh_c * tanh_c)
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dgates = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    do * o * (1.0 - o),
+                    dg * (1.0 - g * g),
+                ],
+                axis=1,
+            )
+            self.dW += z.T @ dgates
+            self.db += dgates.sum(axis=0)
+            dz = dgates @ self.W.T
+            dx[:, t] = dz[:, :D]
+            dh = dz[:, D:]
+            dc = dc * f
+        return dx
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "Conv2D",
+    "LSTMCell",
+]

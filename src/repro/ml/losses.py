@@ -1,0 +1,116 @@
+"""Loss functions, including the paper's latency scaling function (Eq. 2).
+
+Interactive microservices spike to very high latencies; a plain squared
+loss overfits those spikes and overestimates latency in deployment
+(paper Section 3.1).  Since the predictor's job is to find allocations
+*within* the QoS target, both the prediction and the ground truth are
+passed through the saturating scale function
+
+    phi(x) = x                          for x <= t
+    phi(x) = t + (x - t)/(1 + a*(x-t))  for x >  t
+
+before the squared loss, compressing the above-QoS range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyScaler:
+    """The paper's Eq. 2 scaling function and its derivative/inverse.
+
+    Parameters
+    ----------
+    t:
+        Knee of the curve — latencies up to ``t`` pass through unscaled.
+        The paper sets this near the QoS target.
+    alpha:
+        Decay of sensitivity above the knee (Figure 7 shows
+        ``alpha`` in {0.005, 0.01, 0.02}).
+    """
+
+    t: float = 100.0
+    alpha: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.t <= 0:
+            raise ValueError("t must be positive")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def scale(self, x: np.ndarray) -> np.ndarray:
+        """phi(x), elementwise."""
+        x = np.asarray(x, dtype=float)
+        excess = np.maximum(x - self.t, 0.0)
+        scaled = self.t + excess / (1.0 + self.alpha * excess)
+        return np.where(x <= self.t, x, scaled)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        """phi'(x), elementwise (1 below the knee, decaying above)."""
+        x = np.asarray(x, dtype=float)
+        excess = np.maximum(x - self.t, 0.0)
+        denom = (1.0 + self.alpha * excess) ** 2
+        return np.where(x <= self.t, 1.0, 1.0 / denom)
+
+    def inverse(self, y: np.ndarray) -> np.ndarray:
+        """phi^{-1}(y); defined for y < t + 1/alpha (the asymptote)."""
+        y = np.asarray(y, dtype=float)
+        excess = y - self.t
+        limit = 1.0 / self.alpha
+        excess = np.clip(excess, None, limit * 0.999)
+        inverted = self.t + excess / (1.0 - self.alpha * excess)
+        return np.where(y <= self.t, y, inverted)
+
+    @property
+    def ceiling(self) -> float:
+        """Supremum of phi: t + 1/alpha."""
+        return self.t + 1.0 / self.alpha
+
+
+class MSELoss:
+    """Mean squared error; returns (loss, dloss/dpred)."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        loss = float(np.mean(diff * diff))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class ScaledMSELoss:
+    """Squared loss on phi-scaled latencies (paper Eq. 1 + Eq. 2).
+
+    Both the prediction and the target are scaled, so gradients from
+    above-QoS spikes are damped by ``phi'(pred)``.
+    """
+
+    def __init__(self, scaler: LatencyScaler) -> None:
+        self.scaler = scaler
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        sp = self.scaler.scale(pred)
+        st = self.scaler.scale(target)
+        diff = sp - st
+        loss = float(np.mean(diff * diff))
+        grad = 2.0 * diff * self.scaler.derivative(pred) / diff.size
+        return loss, grad
+
+
+class BCEWithLogitsLoss:
+    """Binary cross-entropy on logits; numerically stable."""
+
+    def __call__(self, logits: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        z = np.clip(logits, -60.0, 60.0)
+        prob = 1.0 / (1.0 + np.exp(-z))
+        loss = float(
+            np.mean(np.maximum(z, 0) - z * target + np.log1p(np.exp(-np.abs(z))))
+        )
+        grad = (prob - target) / target.size
+        return loss, grad
+
+
+__all__ = ["LatencyScaler", "MSELoss", "ScaledMSELoss", "BCEWithLogitsLoss"]

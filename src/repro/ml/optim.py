@@ -1,0 +1,95 @@
+"""Optimizers for the numpy networks.
+
+The paper trains all neural models with stochastic gradient descent
+(Section 3.1); SGD with momentum and weight decay is the default here,
+with Adam available for the boosted experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer over a flat list of (param, grad) arrays."""
+
+    def __init__(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        self.params = params
+        self.grads = grads
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        lr: float = 0.001,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-5,
+        clip: float = 5.0,
+    ) -> None:
+        super().__init__(params, grads)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.clip = clip
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            update = g
+            if self.clip > 0:
+                norm = np.linalg.norm(update)
+                if norm > self.clip:
+                    update = update * (self.clip / norm)
+            v *= self.momentum
+            v -= self.lr * update
+            if self.weight_decay > 0:
+                v -= self.lr * self.weight_decay * p
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        grads: list[np.ndarray],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, grads)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            grad = g + self.weight_decay * p if self.weight_decay > 0 else g
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+__all__ = ["Optimizer", "SGD", "Adam"]

@@ -1,0 +1,49 @@
+"""Discrete-time queueing-network simulator of a microservice cluster.
+
+This package replaces the paper's physical substrate (a dedicated Docker
+Swarm cluster and a GCE deployment) with a layered queueing simulation
+that preserves the phenomena Sinan exploits and that defeat simpler
+managers:
+
+* per-tier CPU limits at sub-core granularity (cgroup ``cpu.cfs_quota``),
+* queue build-up and drain across 1 s decision intervals (the *delayed
+  queueing effect* of the paper's Figure 3),
+* synchronous-RPC backpressure, so a slow downstream tier inflates
+  upstream queues (the "longest queue is a symptom, not the culprit"
+  failure mode that misleads PowerChief),
+* cgroup-style telemetry: CPU utilization, resident set size, cache
+  memory, and received/transmitted packets per tier, plus end-to-end
+  latency percentiles (p95-p99) per interval.
+
+The main entry point is :class:`~repro.sim.cluster.ClusterSimulator`.
+"""
+
+from repro.sim.tier import TierKind, TierSpec
+from repro.sim.graph import AppGraph, RequestType
+from repro.sim.telemetry import (
+    IntervalStats,
+    TelemetryLog,
+    LATENCY_PERCENTILES,
+    RESOURCE_CHANNELS,
+)
+from repro.sim.behaviors import Behavior, CapacityFault
+from repro.sim.engine import QueueingEngine
+from repro.sim.cluster import ClusterSimulator, PlatformSpec, LOCAL_PLATFORM, GCE_PLATFORM
+
+__all__ = [
+    "TierKind",
+    "TierSpec",
+    "AppGraph",
+    "RequestType",
+    "IntervalStats",
+    "TelemetryLog",
+    "LATENCY_PERCENTILES",
+    "RESOURCE_CHANNELS",
+    "Behavior",
+    "CapacityFault",
+    "QueueingEngine",
+    "ClusterSimulator",
+    "PlatformSpec",
+    "LOCAL_PLATFORM",
+    "GCE_PLATFORM",
+]

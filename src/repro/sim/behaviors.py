@@ -1,0 +1,87 @@
+"""Injectable tier behaviours (faults, pathologies, platform quirks).
+
+The paper's explainability case study (Section 5.6) hinges on a real
+pathology: Redis forks and copies its written memory to persist logs
+every minute, stalling request service and causing periodic tail-latency
+spikes.  Behaviours let the simulator inject exactly this class of
+effect; the concrete Redis log-sync behaviour lives in
+:mod:`repro.apps.behaviors`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Behavior:
+    """Hook interface invoked by the engine every tick.
+
+    Subclasses override any subset of the methods; defaults are no-ops.
+    """
+
+    def capacity_multiplier(self, time: float, n_tiers: int) -> np.ndarray | None:
+        """Per-tier multiplicative factor on service capacity at ``time``.
+
+        Return ``None`` (the default) for "no effect", otherwise an array
+        of shape ``(n_tiers,)`` with values in ``(0, 1]`` (or above 1 for
+        boosts).
+        """
+        return None
+
+    def rss_extra_mb(self, time: float, n_tiers: int) -> np.ndarray | None:
+        """Per-tier additive resident-set-size delta (MB) at ``time``."""
+        return None
+
+    def cache_extra_mb(self, time: float, n_tiers: int) -> np.ndarray | None:
+        """Per-tier additive page-cache delta (MB) at ``time``."""
+        return None
+
+
+class CapacityFault(Behavior):
+    """Periodic capacity stall on one tier.
+
+    Generic building block: every ``period`` seconds, the tier's service
+    capacity drops to ``residual_capacity`` of nominal for ``duration``
+    seconds, optionally with an RSS spike (memory being copied).
+    """
+
+    def __init__(
+        self,
+        tier_index: int,
+        period: float,
+        duration: float,
+        residual_capacity: float = 0.05,
+        rss_spike_mb: float = 0.0,
+        start_offset: float = 0.0,
+    ) -> None:
+        if period <= 0 or duration <= 0:
+            raise ValueError("period and duration must be positive")
+        if not (0.0 < residual_capacity <= 1.0):
+            raise ValueError("residual_capacity must be in (0, 1]")
+        self.tier_index = tier_index
+        self.period = period
+        self.duration = duration
+        self.residual_capacity = residual_capacity
+        self.rss_spike_mb = rss_spike_mb
+        self.start_offset = start_offset
+
+    def _stalled(self, time: float) -> bool:
+        phase = (time - self.start_offset) % self.period
+        return 0.0 <= phase < self.duration
+
+    def capacity_multiplier(self, time: float, n_tiers: int) -> np.ndarray | None:
+        if not self._stalled(time):
+            return None
+        mult = np.ones(n_tiers)
+        mult[self.tier_index] = self.residual_capacity
+        return mult
+
+    def rss_extra_mb(self, time: float, n_tiers: int) -> np.ndarray | None:
+        if self.rss_spike_mb <= 0 or not self._stalled(time):
+            return None
+        extra = np.zeros(n_tiers)
+        extra[self.tier_index] = self.rss_spike_mb
+        return extra
+
+
+__all__ = ["Behavior", "CapacityFault"]

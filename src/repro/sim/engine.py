@@ -1,0 +1,462 @@
+"""Discrete-time queueing engine for the microservice cluster.
+
+The engine advances in fixed ticks (default 100 ms, ten per 1 s decision
+interval).  Per tick and per tier it models:
+
+* **CPU-derived capacity**: a tier with allocation ``a`` cores and CPU
+  demand ``c`` CPU-seconds per unit of work serves at most ``a / c``
+  units per second; a single request runs on at most one core, so its
+  service time is ``c / min(a, 1)`` (sub-core limits stretch service).
+* **Synchronous-RPC backpressure**: a caller's concurrency slots
+  (``conc_per_core * a``) are held for its own service time *plus* the
+  sojourn of its slowest callee, so a slow downstream tier throttles the
+  upstream tier's effective throughput and inflates *its* queue.  This is
+  what makes "tier with the longest queue" a symptom rather than the
+  culprit (paper Section 5.3), defeating queue-driven managers.
+* **Queue persistence** across intervals: under-allocation builds queues
+  that take many intervals to drain, the paper's delayed queueing effect
+  (Figure 3).
+
+End-to-end latency is synthesized per interval by sampling request paths:
+a request's latency is the sum over its stages of the maximum sampled
+tier sojourn within each stage, with lognormal service-time noise.
+Requests that hit an overflowing queue are dropped and recorded at a
+timeout latency, which is how sustained overload blows up the p99.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.behaviors import Behavior
+from repro.sim.graph import AppGraph
+from repro.sim.telemetry import LATENCY_PERCENTILES, IntervalStats
+
+_EPS = 1e-9
+#: Upper bound on a single tier's sojourn estimate (seconds); keeps the
+#: fluid model finite when a tier is fully stalled.
+_MAX_SOJOURN = 30.0
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunable physics of the simulated platform."""
+
+    tick: float = 0.1
+    """Tick length in seconds (an interval is 1 s = ``1/tick`` ticks)."""
+
+    service_mult: float = 1.0
+    """Multiplier on every tier's CPU demand (platform speed)."""
+
+    base_lat_mult: float = 1.0
+    """Multiplier on every tier's non-CPU base latency."""
+
+    noise_sigma: float = 0.22
+    """Lognormal sigma for sampled per-request sojourn noise."""
+
+    capacity_jitter: float = 0.05
+    """Std-dev of per-tick multiplicative capacity jitter."""
+
+    max_queue: float = 4000.0
+    """Per-tier queue cap (requests); overflow is dropped."""
+
+    drop_latency: float = 5.0
+    """Latency (seconds) booked for a dropped request (client timeout)."""
+
+    max_latency_samples: int = 480
+    """Per-interval cap on synthesized end-to-end latency samples."""
+
+    backpressure: bool = True
+    """Disable to ablate the synchronous-RPC backpressure coupling."""
+
+    rate_cv: float = 0.18
+    """Std-dev of the slow AR(1) lognormal modulation on offered load
+    (real user traffic is burstier than a constant-rate Poisson)."""
+
+    spike_prob: float = 0.03
+    """Per-second probability that a short traffic burst begins."""
+
+    spike_mult_range: tuple[float, float] = (1.25, 1.6)
+    """Multiplier range for traffic bursts."""
+
+    spike_duration_range: tuple[float, float] = (8.0, 16.0)
+    """Burst duration range (seconds).  Bursts rise and fall smoothly
+    (sin^2 envelope), so their onset is visible in the traffic counters
+    one to two intervals ahead — a *predictable* overload, exactly the
+    delayed-queueing dynamics Sinan's violation predictor exploits and
+    reactive utilization scaling reacts to only after queues are built."""
+
+
+class QueueingEngine:
+    """Simulates one application deployment at tick granularity.
+
+    Parameters
+    ----------
+    graph:
+        The application (tiers, edges, request types).
+    config:
+        Platform physics; see :class:`EngineConfig`.
+    seed:
+        Seed for the engine's private random generator.
+    behaviors:
+        Injectable pathologies (see :mod:`repro.sim.behaviors`).
+    """
+
+    def __init__(
+        self,
+        graph: AppGraph,
+        config: EngineConfig | None = None,
+        seed: int = 0,
+        behaviors: tuple[Behavior, ...] = (),
+    ) -> None:
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.behaviors = tuple(behaviors)
+        n = graph.n_tiers
+
+        self._cpu_per_req = np.array(
+            [t.cpu_per_req for t in graph.tiers]
+        ) * self.config.service_mult
+        self._base_lat = np.array(
+            [t.base_latency for t in graph.tiers]
+        ) * self.config.base_lat_mult
+        self._conc_per_core = np.array([t.conc_per_core for t in graph.tiers])
+        self._soft_thr = np.array(
+            [t.soft_throughput * t.replicas for t in graph.tiers]
+        )
+        self._replicas = np.array([float(t.replicas) for t in graph.tiers])
+        self._rss_base = np.array([t.rss_base_mb for t in graph.tiers])
+        self._rss_per_q = np.array([t.rss_per_queued_mb for t in graph.tiers])
+        self._cache_base = np.array([t.cache_mb for t in graph.tiers])
+        self._pkts = np.array([t.pkts_per_req for t in graph.tiers])
+
+        self._levels = self._build_levels()
+        self._visit_T = graph.visit_matrix.T.copy()  # (N, R)
+        # Tier-index list per request type for drop probability.
+        self._type_tiers = [
+            np.flatnonzero(graph.visit_matrix[r] > 0) for r in range(graph.n_types)
+        ]
+
+        self._rng = np.random.default_rng(seed)
+        self.time = 0.0
+        self.queue = np.zeros(n)
+        self._sojourn = self._base_lat.copy()
+        self._busy_frac = np.zeros(n)
+        self._busy_ewma = np.zeros(n)
+        self._demand = np.zeros(n)
+        self._log_mod = 0.0
+        self._burst_start = -1.0
+        self._burst_until = -1.0
+        self._burst_mult = 1.0
+
+    def _build_levels(self) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Group tiers into dependency levels for vectorized sojourn math.
+
+        Level 0 holds leaves (no callees); a tier's level is one more than
+        its deepest callee.  Returns, per level > 0, the tier indices, a
+        padded child-index matrix, and its validity mask; level 0 entries
+        carry empty child structures.
+        """
+        graph = self.graph
+        n = graph.n_tiers
+        level = np.zeros(n, dtype=int)
+        for idx in graph.reverse_topo_order:
+            children = graph.children[idx]
+            if children.size:
+                level[idx] = 1 + level[children].max()
+        levels = []
+        for lvl in range(level.max() + 1):
+            members = np.flatnonzero(level == lvl)
+            if members.size == 0:
+                continue
+            kmax = max((graph.children[i].size for i in members), default=0)
+            child_matrix = np.zeros((members.size, max(kmax, 1)), dtype=int)
+            mask = np.zeros((members.size, max(kmax, 1)), dtype=bool)
+            for row, idx in enumerate(members):
+                children = graph.children[idx]
+                child_matrix[row, : children.size] = children
+                mask[row, : children.size] = True
+            levels.append((members, child_matrix, mask))
+        return levels
+
+    def reset(self, seed: int | None = None) -> None:
+        """Drain all queues and restart the clock (fresh episode)."""
+        self.time = 0.0
+        self.queue = np.zeros(self.graph.n_tiers)
+        self._sojourn = self._base_lat.copy()
+        self._busy_frac = np.zeros(self.graph.n_tiers)
+        self._busy_ewma = np.zeros(self.graph.n_tiers)
+        self._demand = np.zeros(self.graph.n_tiers)
+        self._log_mod = 0.0
+        self._burst_start = -1.0
+        self._burst_until = -1.0
+        self._burst_mult = 1.0
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Tick physics
+    # ------------------------------------------------------------------
+
+    def _rate_modulation(self) -> float:
+        """Per-tick multiplicative load modulation: slow AR(1) drift plus
+        occasional short bursts."""
+        cfg = self.config
+        if cfg.rate_cv > 0:
+            # Slow mean reversion (~25 s timescale): the load level drifts
+            # visibly rather than flickering, so it is observable in the
+            # telemetry history rather than pure per-interval noise.
+            theta = 0.004
+            noise = self._rng.normal(0.0, cfg.rate_cv * np.sqrt(2 * theta))
+            self._log_mod += -theta * self._log_mod + noise
+        burst = 1.0
+        if cfg.spike_prob > 0:
+            if self.time >= self._burst_until:
+                if self._rng.random() < cfg.spike_prob * cfg.tick:
+                    lo, hi = cfg.spike_mult_range
+                    self._burst_mult = self._rng.uniform(lo, hi)
+                    dlo, dhi = cfg.spike_duration_range
+                    self._burst_start = self.time
+                    self._burst_until = self.time + self._rng.uniform(dlo, dhi)
+            if self.time < self._burst_until:
+                # Smooth sin^2 envelope: ramps up and back down, so the
+                # onset shows in traffic counters before the peak hits.
+                phase = (self.time - self._burst_start) / (
+                    self._burst_until - self._burst_start
+                )
+                envelope = np.sin(np.pi * phase) ** 2
+                burst = 1.0 + (self._burst_mult - 1.0) * envelope
+        return float(np.exp(self._log_mod - 0.5 * cfg.rate_cv**2) * burst)
+
+    def _behavior_capacity(self, n: int) -> np.ndarray:
+        mult = np.ones(n)
+        for behavior in self.behaviors:
+            factor = behavior.capacity_multiplier(self.time, n)
+            if factor is not None:
+                mult = mult * factor
+        return mult
+
+    def _compute_sojourn(self, allocs: np.ndarray, cap_mult: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-tier sojourn W and effective service rate mu for this tick.
+
+        Processes levels bottom-up so each caller sees its callees' fresh
+        sojourns (synchronous RPC backpressure).
+        """
+        cfg = self.config
+        # Sub-core CFS quotas stretch service time only to the extent the
+        # quota is actually contended: an idle tier at 0.2 cores still
+        # serves a lone request at full speed (the burst fits the quota),
+        # but near saturation every request waits for quota refresh.
+        full_stretch = 1.0 / np.minimum(allocs, 1.0)
+        stretch = 1.0 + (full_stretch - 1.0) * self._busy_ewma
+        # Software-scalability contention: service time inflates as the
+        # per-replica throughput approaches the tier's soft limit (locks,
+        # GC, coordination) — no CPU limit increase fixes this.
+        saturation = np.clip(self._demand / self._soft_thr, 0.0, 1.0)
+        # Quartic curve: negligible below ~60% of the soft limit, then a
+        # sharp contention knee approaching it (up to 12x service time).
+        inflation = 1.0 / np.clip(1.0 - saturation**4, 1.0 / 12.0, 1.0)
+        service_time = self._cpu_per_req * stretch * inflation
+        mu_cpu = allocs / self._cpu_per_req
+        sojourn = np.empty_like(allocs)
+        mu = np.empty_like(allocs)
+        downstream = np.zeros_like(allocs)
+
+        for members, child_matrix, mask in self._levels:
+            if cfg.backpressure and mask.any():
+                child_w = sojourn[child_matrix]
+                child_w = np.where(mask, child_w, 0.0)
+                downstream[members] = child_w.max(axis=1)
+            hold = service_time[members] + self._base_lat[members] + downstream[members]
+            conc = self._conc_per_core[members] * allocs[members] * self._replicas[members]
+            mu_conc = conc / np.maximum(hold, _EPS)
+            mu_lvl = np.minimum(mu_cpu[members], mu_conc) * cap_mult[members]
+            mu_lvl = np.maximum(mu_lvl, _EPS)
+            wait = self.queue[members] / mu_lvl
+            # Stochastic steady-state queueing (M/M/1-like): even without
+            # an explicit backlog, waiting time grows with utilization —
+            # the smooth part of the latency knee.
+            rho = np.minimum(self._busy_ewma[members], 0.9)
+            stoch_wait = service_time[members] * rho / (1.0 - rho)
+            sojourn[members] = np.minimum(
+                self._base_lat[members] + service_time[members] + wait + stoch_wait,
+                _MAX_SOJOURN,
+            )
+            mu[members] = mu_lvl
+        return sojourn, mu
+
+    def run_interval(
+        self, allocs: np.ndarray, type_rates: np.ndarray
+    ) -> IntervalStats:
+        """Advance one 1 s decision interval under the given allocation.
+
+        Parameters
+        ----------
+        allocs:
+            Per-tier CPU limits (cores), shape ``(n_tiers,)``.
+        type_rates:
+            Offered load per request type (requests/second), shape
+            ``(n_types,)``.
+
+        Returns
+        -------
+        IntervalStats
+            The telemetry a per-node agent plus the API gateway would
+            report for this interval.
+        """
+        graph = self.graph
+        cfg = self.config
+        n = graph.n_tiers
+        allocs = np.asarray(allocs, dtype=float)
+        if allocs.shape != (n,):
+            raise ValueError(f"allocs must have shape ({n},)")
+        if np.any(allocs <= 0):
+            raise ValueError("all CPU allocations must be positive")
+        type_rates = np.asarray(type_rates, dtype=float)
+        if type_rates.shape != (graph.n_types,):
+            raise ValueError(f"type_rates must have shape ({graph.n_types},)")
+
+        n_ticks = max(int(round(1.0 / cfg.tick)), 1)
+        sojourn_ticks = np.empty((n_ticks, n))
+        cpu_used = np.zeros(n)
+        arrivals_total = np.zeros(n)
+        completions_total = np.zeros(n)
+        drops_total = np.zeros(n)
+        type_counts = np.zeros(graph.n_types)
+
+        for tick in range(n_ticks):
+            counts = self._rng.poisson(type_rates * self._rate_modulation() * cfg.tick)
+            type_counts += counts
+            arrivals = self._visit_T @ counts
+            self._demand = 0.8 * self._demand + 0.2 * (arrivals / cfg.tick)
+
+            cap_mult = self._behavior_capacity(n)
+            if cfg.capacity_jitter > 0:
+                # Service capacity is noisier near the software saturation
+                # point (GC pauses, lock convoys, scheduler interference):
+                # this is what makes thin-headroom operation increasingly
+                # fragile at high absolute load.
+                saturation = np.clip(self._demand / self._soft_thr, 0.0, 1.0)
+                sigma = cfg.capacity_jitter * (1.0 + 3.0 * saturation)
+                jitter = 1.0 + self._rng.normal(0.0, 1.0, size=n) * sigma
+                cap_mult = cap_mult * np.clip(jitter, 0.3, 1.7)
+
+            sojourn, mu = self._compute_sojourn(allocs, cap_mult)
+            sojourn_ticks[tick] = sojourn
+
+            capacity = mu * cfg.tick
+            backlog = self.queue + arrivals
+            completions = np.minimum(backlog, capacity)
+            queue = backlog - completions
+            drops = np.maximum(queue - cfg.max_queue, 0.0)
+            self.queue = queue - drops
+
+            tick_used = np.minimum(completions * self._cpu_per_req, allocs * cfg.tick)
+            self._busy_frac = np.clip(tick_used / (allocs * cfg.tick), 0.0, 1.0)
+            # Smoothed utilization drives the stochastic-wait and CFS
+            # stretch terms: single-tick 0/1 spikes at low request rates
+            # should not read as saturation.
+            self._busy_ewma = 0.85 * self._busy_ewma + 0.15 * self._busy_frac
+            cpu_used += tick_used
+            arrivals_total += arrivals
+            completions_total += completions
+            drops_total += drops
+            self.time += cfg.tick
+
+        self._sojourn = sojourn_ticks[-1]
+        latency_samples = self._sample_latencies(
+            sojourn_ticks, type_counts, arrivals_total, drops_total
+        )
+        percentiles = np.percentile(latency_samples, LATENCY_PERCENTILES) * 1000.0
+
+        rss_extra = np.zeros(n)
+        cache_extra = np.zeros(n)
+        for behavior in self.behaviors:
+            extra = behavior.rss_extra_mb(self.time, n)
+            if extra is not None:
+                rss_extra += extra
+            extra = behavior.cache_extra_mb(self.time, n)
+            if extra is not None:
+                cache_extra += extra
+
+        util = cpu_used / np.maximum(allocs, _EPS)
+        util = np.clip(util + self._rng.normal(0.0, 0.005, size=n), 0.0, 1.0)
+        rss = self._rss_base + self._rss_per_q * self.queue + rss_extra
+        cache = self._cache_base + 0.02 * completions_total + cache_extra
+
+        total_rps = float(type_counts.sum())
+        rps_by_type = {
+            name: float(count)
+            for name, count in zip(graph.type_names, type_counts)
+        }
+        return IntervalStats(
+            time=self.time,
+            rps=total_rps,
+            rps_by_type=rps_by_type,
+            cpu_alloc=allocs.copy(),
+            cpu_util=util,
+            rss_mb=rss,
+            cache_mb=cache,
+            rx_pps=arrivals_total * self._pkts,
+            tx_pps=completions_total * self._pkts,
+            queue=self.queue.copy(),
+            latency_ms=percentiles,
+            drops=float(drops_total.sum()),
+            latency_samples_ms=latency_samples * 1000.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Latency synthesis
+    # ------------------------------------------------------------------
+
+    def _sample_latencies(
+        self,
+        sojourn_ticks: np.ndarray,
+        type_counts: np.ndarray,
+        arrivals_total: np.ndarray,
+        drops_total: np.ndarray,
+    ) -> np.ndarray:
+        """Synthesize end-to-end latency samples for this interval."""
+        cfg = self.config
+        graph = self.graph
+        rng = self._rng
+        n_ticks = sojourn_ticks.shape[0]
+
+        total = type_counts.sum()
+        if total <= 0:
+            return np.array([self._base_lat.max()])
+
+        drop_frac = drops_total / np.maximum(arrivals_total, _EPS)
+        budget = cfg.max_latency_samples
+        weights = type_counts / total
+        samples_per_type = np.maximum(
+            (weights * budget).astype(int), (type_counts > 0).astype(int) * 3
+        )
+        # The lognormal noise keeps mean sojourn unchanged: E[LN] = 1.
+        sigma = cfg.noise_sigma
+        mu_ln = -0.5 * sigma * sigma
+
+        out: list[np.ndarray] = []
+        for r, k in enumerate(samples_per_type):
+            if k <= 0:
+                continue
+            ticks = rng.integers(0, n_ticks, size=k)
+            latency = np.zeros(k)
+            for stage in graph.stage_indices[r]:
+                soj = sojourn_ticks[ticks][:, stage]
+                base = self._base_lat[stage]
+                noise = rng.lognormal(mu_ln, sigma, size=(k, stage.size))
+                sampled = base[None, :] + (soj - base[None, :]) * noise
+                latency += sampled.max(axis=1)
+            p_drop = 1.0 - np.prod(1.0 - np.clip(drop_frac[self._type_tiers[r]], 0, 1))
+            if p_drop > 0:
+                dropped = rng.random(k) < p_drop
+                latency[dropped] = cfg.drop_latency
+            # Clients time out: no observed latency exceeds the drop latency.
+            out.append(np.minimum(latency, cfg.drop_latency))
+        return np.concatenate(out)
+
+
+__all__ = ["QueueingEngine", "EngineConfig"]

@@ -1,0 +1,97 @@
+"""Open-loop workload generator (the Locust substitute).
+
+Combines a :class:`~repro.workload.patterns.LoadPattern` (how many users)
+with a :class:`RequestMix` (what they send) into per-request-type offered
+rates, at the paper's 1 RPS mean arrival rate per user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.graph import AppGraph
+from repro.workload.patterns import LoadPattern
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Normalized request-type mix.
+
+    The paper varies the ratio of ComposePost : ReadHomeTimeline :
+    ReadUserTimeline across workloads W0-W3 (Section 5.5).
+    """
+
+    fractions: tuple[tuple[str, float], ...]
+
+    @classmethod
+    def from_ratios(cls, ratios: dict[str, float]) -> "RequestMix":
+        """Build a mix from unnormalized ratios (e.g. ``5:80:15``)."""
+        total = sum(ratios.values())
+        if total <= 0:
+            raise ValueError("ratios must sum to a positive value")
+        if any(v < 0 for v in ratios.values()):
+            raise ValueError("ratios must be non-negative")
+        return cls(tuple((name, value / total) for name, value in ratios.items()))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.fractions)
+
+    def vector(self, graph: AppGraph) -> np.ndarray:
+        """Mix fractions aligned to ``graph.request_types`` order."""
+        lookup = self.as_dict()
+        unknown = set(lookup) - set(graph.type_names)
+        if unknown:
+            raise ValueError(f"mix references unknown request types: {unknown}")
+        return np.array([lookup.get(name, 0.0) for name in graph.type_names])
+
+
+class Workload:
+    """Offered load per request type as a function of episode time.
+
+    Parameters
+    ----------
+    graph:
+        Application whose request types the mix refers to.
+    pattern:
+        User population over time.
+    mix:
+        Request-type mix; fractions are applied to total RPS.
+    rps_per_user:
+        Mean request rate per emulated user (paper: 1 RPS).
+    """
+
+    def __init__(
+        self,
+        graph: AppGraph,
+        pattern: LoadPattern,
+        mix: RequestMix,
+        rps_per_user: float = 1.0,
+    ) -> None:
+        if rps_per_user <= 0:
+            raise ValueError("rps_per_user must be positive")
+        self.graph = graph
+        self.pattern = pattern
+        self.mix = mix
+        self.rps_per_user = rps_per_user
+        self._mix_vector = mix.vector(graph)
+
+    def rates(self, time: float) -> np.ndarray:
+        """Offered requests/second per type at episode time ``time``."""
+        total = self.pattern.users(time) * self.rps_per_user
+        return total * self._mix_vector
+
+    def total_rps(self, time: float) -> float:
+        return float(self.rates(time).sum())
+
+    def with_pattern(self, pattern: LoadPattern) -> "Workload":
+        """Same mix, different load pattern."""
+        return Workload(self.graph, pattern, self.mix, self.rps_per_user)
+
+    def with_mix(self, mix: RequestMix) -> "Workload":
+        """Same load pattern, different request mix."""
+        return Workload(self.graph, self.pattern, mix, self.rps_per_user)
+
+
+__all__ = ["Workload", "RequestMix"]

@@ -1,0 +1,49 @@
+"""Canonical request mixes from the paper.
+
+Section 5.5 evaluates Sinan's robustness on four Social Network mixes,
+varying ComposePost : ReadHomeTimeline : ReadUserTimeline —
+W0 = 5:80:15 (the training mix), W1 = 10:80:10, W2 = 1:90:9,
+W3 = 5:70:25, representative of different social-media engagement
+scenarios.  Hotel Reservation follows the DeathStarBench default mix
+(search-dominated).
+"""
+
+from __future__ import annotations
+
+from repro.workload.generator import RequestMix
+
+#: Social Network mixes, keyed as in the paper.
+SOCIAL_MIXES: dict[str, RequestMix] = {
+    "W0": RequestMix.from_ratios(
+        {"ComposePost": 5, "ReadHomeTimeline": 80, "ReadUserTimeline": 15}
+    ),
+    "W1": RequestMix.from_ratios(
+        {"ComposePost": 10, "ReadHomeTimeline": 80, "ReadUserTimeline": 10}
+    ),
+    "W2": RequestMix.from_ratios(
+        {"ComposePost": 1, "ReadHomeTimeline": 90, "ReadUserTimeline": 9}
+    ),
+    "W3": RequestMix.from_ratios(
+        {"ComposePost": 5, "ReadHomeTimeline": 70, "ReadUserTimeline": 25}
+    ),
+}
+
+
+def social_mix(name: str = "W0") -> RequestMix:
+    """Return one of the paper's Social Network mixes (default: training mix)."""
+    try:
+        return SOCIAL_MIXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown social mix {name!r}; choose from {sorted(SOCIAL_MIXES)}"
+        ) from None
+
+
+def hotel_mix() -> RequestMix:
+    """DeathStarBench Hotel Reservation default mix (search-dominated)."""
+    return RequestMix.from_ratios(
+        {"Search": 60.0, "Recommend": 38.0, "Reserve": 1.0, "Login": 1.0}
+    )
+
+
+__all__ = ["SOCIAL_MIXES", "social_mix", "hotel_mix"]

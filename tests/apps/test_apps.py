@@ -1,0 +1,130 @@
+"""Application topology tests (paper Figures 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    HOTEL_QOS_MS,
+    SOCIAL_QOS_MS,
+    RedisLogSync,
+    encrypted_posts_variant,
+    hotel_reservation,
+    scaled_replicas_variant,
+    social_network,
+)
+from repro.sim.tier import TierKind
+
+
+@pytest.fixture(scope="module")
+def social():
+    return social_network()
+
+
+@pytest.fixture(scope="module")
+def hotel():
+    return hotel_reservation()
+
+
+class TestSocialNetwork:
+    def test_tier_count_matches_figure2(self, social):
+        assert social.n_tiers == 28
+
+    def test_qos_is_500ms(self):
+        assert SOCIAL_QOS_MS == 500.0
+
+    def test_request_types(self, social):
+        assert social.type_names == [
+            "ComposePost",
+            "ReadHomeTimeline",
+            "ReadUserTimeline",
+        ]
+
+    def test_compose_touches_ml_filters(self, social):
+        compose = social.request_type("ComposePost")
+        assert "mediaFilter" in compose.tiers
+        assert "textFilter" in compose.tiers
+
+    def test_compose_is_heaviest(self, social):
+        """ComposePost places the most CPU work end-to-end (Figure 14's
+        premise: compose-heavy mixes need the most compute)."""
+        costs = {}
+        for rtype in social.request_types:
+            r = social.type_names.index(rtype.name)
+            cost = sum(
+                social.visit_matrix[r, i] * social.tiers[i].cpu_per_req
+                for i in range(social.n_tiers)
+            )
+            costs[rtype.name] = cost
+        assert costs["ComposePost"] > costs["ReadHomeTimeline"]
+        assert costs["ComposePost"] > costs["ReadUserTimeline"]
+
+    def test_frontend_is_nginx(self, social):
+        assert social.tiers[social.index["nginx"]].kind is TierKind.FRONTEND
+
+    def test_ml_tiers_have_core_floor(self, social):
+        for name in ("textFilter", "mediaFilter"):
+            assert social.tiers[social.index[name]].min_cpu >= 1.0
+
+    def test_all_tiers_reachable_by_some_request(self, social):
+        visited = social.visit_matrix.sum(axis=0)
+        assert np.all(visited > 0), [
+            social.tier_names[i] for i in np.flatnonzero(visited == 0)
+        ]
+
+
+class TestHotelReservation:
+    def test_tier_count_matches_figure1(self, hotel):
+        assert hotel.n_tiers == 17
+
+    def test_qos_is_200ms(self):
+        assert HOTEL_QOS_MS == 200.0
+
+    def test_request_types(self, hotel):
+        assert set(hotel.type_names) == {"Search", "Recommend", "Reserve", "Login"}
+
+    def test_search_hits_geo_and_rate(self, hotel):
+        search = hotel.request_type("Search")
+        assert "geo" in search.tiers and "rate" in search.tiers
+
+    def test_backends_exist(self, hotel):
+        kinds = {t.kind for t in hotel.tiers}
+        assert TierKind.CACHE in kinds and TierKind.DB in kinds
+
+    def test_all_tiers_reachable(self, hotel):
+        assert np.all(hotel.visit_matrix.sum(axis=0) > 0)
+
+
+class TestVariants:
+    def test_redis_log_sync_targets_graph_redis(self, social):
+        sync = RedisLogSync(social)
+        assert sync.tier_index == social.index["graph-redis"]
+        mult = sync.capacity_multiplier(sync.start_offset + 0.1, social.n_tiers)
+        assert mult is not None
+        assert mult[sync.tier_index] < 0.1
+
+    def test_redis_log_sync_requires_redis_tier(self, hotel):
+        with pytest.raises(ValueError, match="absent"):
+            RedisLogSync(hotel)
+
+    def test_encrypted_posts_scales_post_tiers(self, social):
+        variant = encrypted_posts_variant(social, cpu_scale=1.6)
+        idx = social.index["postStore"]
+        assert variant.tiers[idx].cpu_per_req == pytest.approx(
+            1.6 * social.tiers[idx].cpu_per_req
+        )
+        untouched = social.index["homeTimeline"]
+        assert variant.tiers[untouched].cpu_per_req == pytest.approx(
+            social.tiers[untouched].cpu_per_req
+        )
+
+    def test_scaled_replicas_spares_databases(self, social):
+        variant = scaled_replicas_variant(social, replicas=2)
+        for tier in variant.tiers:
+            if tier.kind is TierKind.DB:
+                assert tier.replicas == 1
+            else:
+                assert tier.replicas == 2
+
+    def test_scaled_replicas_validation(self, social):
+        with pytest.raises(ValueError):
+            scaled_replicas_variant(social, replicas=0)

@@ -1,0 +1,67 @@
+"""Auxiliary (threshold) resource manager tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.auxiliary import BandwidthProvisioner, MemoryProvisioner
+from tests.conftest import make_tiny_cluster
+
+
+@pytest.fixture
+def recorded():
+    cluster = make_tiny_cluster(users=120, seed=4)
+    cluster.run(15)
+    return cluster
+
+
+class TestMemoryProvisioner:
+    def test_profile_tracks_peak(self, recorded):
+        prov = MemoryProvisioner(recorded.graph)
+        prov.profile(recorded.telemetry)
+        rss = np.stack([s.rss_mb for s in recorded.telemetry])
+        np.testing.assert_allclose(prov.peak_rss_mb, rss.max(axis=0))
+
+    def test_limits_include_headroom(self, recorded):
+        prov = MemoryProvisioner(recorded.graph, headroom=1.5)
+        prov.profile(recorded.telemetry)
+        np.testing.assert_allclose(prov.limits_mb(), prov.peak_rss_mb * 1.5)
+
+    def test_limits_require_profile(self, recorded):
+        prov = MemoryProvisioner(recorded.graph)
+        with pytest.raises(RuntimeError):
+            prov.limits_mb()
+
+    def test_oom_detection(self, recorded):
+        prov = MemoryProvisioner(recorded.graph, headroom=1.25)
+        prov.profile(recorded.telemetry)
+        assert not prov.would_oom(recorded.telemetry).any()
+
+    def test_headroom_validation(self, recorded):
+        with pytest.raises(ValueError):
+            MemoryProvisioner(recorded.graph, headroom=0.5)
+
+
+class TestBandwidthProvisioner:
+    def test_limits_scale_with_load(self, recorded):
+        prov = BandwidthProvisioner(recorded.graph)
+        prov.profile(recorded.telemetry)
+        low = prov.limits_pps(100.0)
+        high = prov.limits_pps(300.0)
+        np.testing.assert_allclose(high, 3 * low)
+
+    def test_limits_cover_observed_traffic(self, recorded):
+        prov = BandwidthProvisioner(recorded.graph, margin=2.0)
+        prov.profile(recorded.telemetry)
+        latest = recorded.telemetry.latest
+        limits = prov.limits_pps(latest.rps)
+        observed = latest.rx_pps + latest.tx_pps
+        assert np.all(limits >= observed * 0.8)
+
+    def test_requires_profile(self, recorded):
+        prov = BandwidthProvisioner(recorded.graph)
+        with pytest.raises(RuntimeError):
+            prov.limits_pps(100.0)
+
+    def test_margin_validation(self, recorded):
+        with pytest.raises(ValueError):
+            BandwidthProvisioner(recorded.graph, margin=0.9)

@@ -1,0 +1,134 @@
+"""Data-collection policy tests (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.autoscale import AutoScale
+from repro.core.data_collection import (
+    AutoscaleCollectPolicy,
+    BanditExplorer,
+    CollectionConfig,
+    DataCollector,
+    RandomCollectPolicy,
+)
+from repro.core.qos import QoSTarget
+from tests.conftest import make_tiny_cluster, make_tiny_graph
+
+
+@pytest.fixture
+def config():
+    return CollectionConfig(qos=QoSTarget(200.0))
+
+
+class TestBanditExplorer:
+    def test_decisions_within_bounds(self, config):
+        cluster = make_tiny_cluster(users=100, seed=0)
+        explorer = BanditExplorer(config, seed=0)
+        for _ in range(15):
+            alloc = explorer.decide(cluster)
+            assert np.all(alloc >= cluster.min_alloc - 1e-9)
+            assert np.all(alloc <= cluster.max_alloc + 1e-9)
+            stats = cluster.step(alloc)
+            explorer.observe(config.qos.latency_of(stats) <= 200.0)
+
+    def test_visits_multiple_arms(self, config):
+        cluster = make_tiny_cluster(users=100, seed=1)
+        explorer = BanditExplorer(config, seed=1)
+        for _ in range(25):
+            alloc = explorer.decide(cluster)
+            stats = cluster.step(alloc)
+            explorer.observe(config.qos.latency_of(stats) <= 200.0)
+        assert explorer.n_arms_visited > 10
+
+    def test_info_gain_decreases_with_samples(self, config):
+        explorer = BanditExplorer(config, seed=0)
+        key = ((0, 0, 0), 0, 5)
+        fresh_gain = explorer._info_gain(key)
+        from repro.core.data_collection import _ArmStats
+
+        explorer._stats[key] = _ArmStats(meets=10, total=20)
+        seen_gain = explorer._info_gain(key)
+        assert fresh_gain > seen_gain > 0
+
+    def test_deep_overload_jumps_to_max(self, config):
+        cluster = make_tiny_cluster(users=400, seed=2)
+        cluster.current_alloc = cluster.clip_alloc(
+            np.full(cluster.n_tiers, 0.2)
+        )
+        for _ in range(6):
+            cluster.step()
+        explorer = BanditExplorer(config, seed=0)
+        alloc = explorer.decide(cluster)
+        np.testing.assert_allclose(alloc, cluster.max_alloc)
+
+    def test_no_reclamation_while_violating(self, config):
+        """In the violating band, no tier goes below its current alloc."""
+        cluster = make_tiny_cluster(users=200, seed=3)
+        cluster.current_alloc = cluster.clip_alloc(np.full(cluster.n_tiers, 0.6))
+        # run until mild violation (within [QoS, QoS*(1+alpha)])
+        explorer = BanditExplorer(config, seed=0)
+        for _ in range(20):
+            stats = cluster.step()
+            ratio = config.qos.latency_of(stats) / 200.0
+            if 1.0 < ratio <= 1.2:
+                before = cluster.current_alloc.copy()
+                alloc = explorer.decide(cluster)
+                assert np.all(alloc >= before - 1e-9)
+                break
+
+
+class TestOtherPolicies:
+    def test_random_policy_moves_within_bounds(self):
+        cluster = make_tiny_cluster(users=50, seed=0)
+        cluster.step()
+        policy = RandomCollectPolicy(seed=0)
+        seen = set()
+        for _ in range(10):
+            alloc = policy.decide(cluster)
+            assert np.all(alloc >= cluster.min_alloc - 1e-9)
+            assert np.all(alloc <= cluster.max_alloc + 1e-9)
+            seen.add(round(float(alloc.sum()), 3))
+            cluster.step(alloc)
+        assert len(seen) > 3  # it actually wanders
+
+    def test_autoscale_policy_delegates(self):
+        cluster = make_tiny_cluster(users=50, seed=0)
+        cluster.step()
+        manager = AutoScale.opt(cluster.min_alloc, cluster.max_alloc, cooldown=1)
+        policy = AutoscaleCollectPolicy(manager)
+        alloc = policy.decide(cluster)
+        expected = manager.decide(cluster.telemetry)
+        # Same rules re-applied a second time may differ because of the
+        # manager's cooldown state, so compare against a fresh manager.
+        fresh = AutoScale.opt(cluster.min_alloc, cluster.max_alloc, cooldown=1)
+        np.testing.assert_allclose(alloc, fresh.decide(cluster.telemetry))
+
+    def test_policies_observe_is_safe(self):
+        RandomCollectPolicy().observe(True)
+        AutoscaleCollectPolicy(None).observe(False)
+
+
+class TestDataCollector:
+    def test_collect_produces_aligned_dataset(self, config):
+        collector = DataCollector(
+            lambda users, seed: make_tiny_cluster(users, seed), config
+        )
+        result = collector.collect(
+            BanditExplorer(config, seed=0), loads=[50, 150], seconds_per_load=20
+        )
+        ds = result.dataset
+        # 20 intervals per load, minus window (5) and lookahead (1).
+        assert len(ds) == 2 * (20 - config.n_timesteps - 1 + 1)
+        assert ds.X_RH.shape[1:] == (6, 4, config.n_timesteps)
+        assert len(result.logs) == 2
+
+    def test_each_load_fresh_episode(self, config):
+        collector = DataCollector(
+            lambda users, seed: make_tiny_cluster(users, seed), config
+        )
+        result = collector.collect(
+            RandomCollectPolicy(seed=1), loads=[30, 60], seconds_per_load=10
+        )
+        for log in result.logs:
+            assert len(log) == 10
+            assert log[0].time == pytest.approx(1.0)

@@ -1,0 +1,79 @@
+"""Deployment-role (Figure 8 component split) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import (
+    CentralScheduler,
+    NodeAgent,
+    NodePlacement,
+    PredictionService,
+)
+from repro.core.manager import StaticManager
+from tests.conftest import make_tiny_cluster
+from tests.sim.test_telemetry import make_stats
+
+
+class TestNodePlacement:
+    def test_round_robin(self):
+        placement = NodePlacement.round_robin(5, 2)
+        assert placement.node_of_tier == (0, 1, 0, 1, 0)
+        assert placement.n_nodes == 2
+        assert placement.tiers_on(0) == [0, 2, 4]
+
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            NodePlacement.round_robin(3, 0)
+
+
+class TestNodeAgent:
+    def test_report_slices_node_tiers(self):
+        agent = NodeAgent(1, [0, 2])
+        stats = make_stats(n=3)
+        stats.cpu_util[:] = [0.1, 0.2, 0.3]
+        report = agent.report(stats)
+        assert report["node"] == 1
+        np.testing.assert_allclose(report["cpu_util"], [0.1, 0.3])
+
+    def test_enforce_validates_shape(self):
+        agent = NodeAgent(0, [0, 1])
+        with pytest.raises(ValueError):
+            agent.enforce(np.ones(3))
+        agent.enforce(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(agent.pending_limits, [1.0, 2.0])
+
+
+class TestPredictionService:
+    def test_counts_queries_and_delegates(self):
+        class FakePredictor:
+            def predict_candidates(self, log, candidates):
+                return np.ones((len(candidates), 5)), np.zeros(len(candidates))
+
+        service = PredictionService(FakePredictor())
+        lat, prob = service.score(None, np.ones((3, 4)))
+        assert lat.shape == (3, 5)
+        assert service.queries == 1
+
+
+class TestCentralScheduler:
+    def test_runs_episode_through_agents(self):
+        cluster = make_tiny_cluster(users=60, seed=1)
+        manager = StaticManager(np.full(cluster.n_tiers, 2.0))
+        scheduler = CentralScheduler(manager, cluster, n_nodes=2)
+        log = scheduler.run(5)
+        assert len(log) == 5
+        assert len(scheduler.reports) == 5
+        assert len(scheduler.reports[0]) == 2  # one report per node
+        # Agents staged the manager's slices.
+        for agent in scheduler.agents:
+            np.testing.assert_allclose(agent.pending_limits, 2.0)
+
+    def test_all_tiers_covered_once(self):
+        cluster = make_tiny_cluster()
+        scheduler = CentralScheduler(
+            StaticManager(np.ones(cluster.n_tiers)), cluster, n_nodes=3
+        )
+        covered = sorted(
+            t for agent in scheduler.agents for t in agent.tier_indices
+        )
+        assert covered == list(range(cluster.n_tiers))

@@ -1,0 +1,110 @@
+"""Feature encoding and dataset-building tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import WindowEncoder, build_dataset
+from repro.core.qos import QoSTarget
+from tests.conftest import make_tiny_cluster
+
+
+@pytest.fixture
+def recorded_cluster():
+    cluster = make_tiny_cluster(users=80, seed=3)
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        alloc = cluster.current_alloc + rng.uniform(-0.3, 0.3, cluster.n_tiers)
+        cluster.step(cluster.clip_alloc(alloc))
+    return cluster
+
+
+class TestWindowEncoder:
+    def test_encode_shapes(self, recorded_cluster):
+        graph = recorded_cluster.graph
+        enc = WindowEncoder(graph, n_timesteps=5)
+        cand = np.ones(graph.n_tiers)
+        x_rh, x_lh, x_rc = enc.encode_log(recorded_cluster.telemetry, cand)
+        assert x_rh.shape == (6, graph.n_tiers, 5)
+        assert x_lh.shape == (5, 5)
+        assert x_rc.shape == (graph.n_tiers,)
+
+    def test_window_length_enforced(self, recorded_cluster):
+        enc = WindowEncoder(recorded_cluster.graph, n_timesteps=5)
+        window = [recorded_cluster.telemetry[i] for i in range(3)]
+        with pytest.raises(ValueError, match="window"):
+            enc.encode_window(window, np.ones(recorded_cluster.n_tiers))
+
+    def test_candidate_shape_enforced(self, recorded_cluster):
+        enc = WindowEncoder(recorded_cluster.graph, n_timesteps=5)
+        with pytest.raises(ValueError, match="candidate_alloc"):
+            enc.encode_log(recorded_cluster.telemetry, np.ones(2))
+
+    def test_encode_candidates_broadcasts_history(self, recorded_cluster):
+        graph = recorded_cluster.graph
+        enc = WindowEncoder(graph, n_timesteps=4)
+        cands = np.ones((7, graph.n_tiers))
+        x_rh, x_lh, x_rc = enc.encode_candidates(recorded_cluster.telemetry, cands)
+        assert x_rh.shape == (7, 6, graph.n_tiers, 4)
+        assert x_lh.shape == (7, 4, 5)
+        np.testing.assert_allclose(x_rh[0], x_rh[6])
+        np.testing.assert_allclose(x_rc, cands)
+
+    def test_timestamp_ordering_latest_last(self, recorded_cluster):
+        graph = recorded_cluster.graph
+        enc = WindowEncoder(graph, n_timesteps=3)
+        log = recorded_cluster.telemetry
+        x_rh, x_lh, _ = enc.encode_log(log, np.ones(graph.n_tiers))
+        np.testing.assert_allclose(x_lh[-1], log.latest.latency_ms)
+        np.testing.assert_allclose(x_rh[1, :, -1], log.latest.cpu_alloc)
+
+    def test_rejects_zero_timesteps(self, recorded_cluster):
+        with pytest.raises(ValueError):
+            WindowEncoder(recorded_cluster.graph, n_timesteps=0)
+
+
+class TestBuildDataset:
+    def test_alignment_with_next_interval(self, recorded_cluster):
+        graph = recorded_cluster.graph
+        qos = QoSTarget(200.0)
+        ds = build_dataset(recorded_cluster.telemetry, graph, qos, n_timesteps=5, horizon=3)
+        log = recorded_cluster.telemetry
+        # sample i corresponds to window ending at interval i+4;
+        # its candidate allocation is what interval i+5 applied.
+        np.testing.assert_allclose(ds.X_RC[0], log[5].cpu_alloc)
+        np.testing.assert_allclose(ds.y_lat[0], log[5].latency_ms)
+        np.testing.assert_allclose(ds.X_RH[0][1, :, -1], log[4].cpu_alloc)
+
+    def test_sample_count(self, recorded_cluster):
+        ds = build_dataset(
+            recorded_cluster.telemetry,
+            recorded_cluster.graph,
+            QoSTarget(200.0),
+            n_timesteps=5,
+        )
+        assert len(ds) == len(recorded_cluster.telemetry) - 5
+
+    def test_violation_labels_respect_horizon(self, recorded_cluster):
+        graph = recorded_cluster.graph
+        qos = QoSTarget(1.0)  # everything violates
+        ds = build_dataset(recorded_cluster.telemetry, graph, qos, horizon=3)
+        assert ds.violation_fraction() == 1.0
+        qos_loose = QoSTarget(1e9)
+        ds2 = build_dataset(recorded_cluster.telemetry, graph, qos_loose, horizon=3)
+        assert ds2.violation_fraction() == 0.0
+
+    def test_too_short_episode_rejected(self):
+        cluster = make_tiny_cluster(users=10, seed=0)
+        cluster.run(3)
+        with pytest.raises(ValueError, match="too short"):
+            build_dataset(cluster.telemetry, cluster.graph, QoSTarget(200.0), n_timesteps=5)
+
+    def test_meta_propagated(self, recorded_cluster):
+        ds = build_dataset(
+            recorded_cluster.telemetry,
+            recorded_cluster.graph,
+            QoSTarget(200.0),
+            meta={"policy": "test"},
+        )
+        assert ds.meta["policy"] == "test"
+        assert ds.meta["app"] == "tiny"
+        assert ds.meta["qos_ms"] == 200.0

@@ -1,0 +1,106 @@
+"""LIME-style explainability tests.
+
+Uses a stub predictor whose latency depends on a single known tier, so
+the attribution must rank that tier first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.interpret import LimeExplainer, TierAttribution
+from repro.core.qos import QoSTarget
+from repro.sim.telemetry import LATENCY_PERCENTILES
+from repro.ml.dataset import SinanDataset
+from tests.conftest import make_tiny_graph
+
+
+class OneTierPredictor:
+    """Predicted p99 responds only to the 'logic' tier's utilization
+    history and allocation; other tiers are inert."""
+
+    def __init__(self, graph, qos, hot_tier="logic", hot_channel=0):
+        self.graph = graph
+        self.qos = qos
+        self.hot = graph.index[hot_tier]
+        self.hot_channel = hot_channel
+
+    def predict_raw(self, x_rh, x_lh, x_rc):
+        signal = (
+            x_rh[:, self.hot_channel, self.hot, :].mean(axis=1) * 100.0
+            - x_rc[:, self.hot] * 10.0
+        )
+        lat = np.repeat(signal[:, None], len(LATENCY_PERCENTILES), axis=1)
+        return lat, np.zeros(len(x_rh))
+
+
+def make_dataset(graph, n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    m = len(LATENCY_PERCENTILES)
+    return SinanDataset(
+        X_RH=np.abs(rng.normal(size=(n, 6, graph.n_tiers, 5))) + 0.5,
+        X_LH=np.abs(rng.normal(size=(n, 5, m))) * 100,
+        X_RC=np.abs(rng.normal(size=(n, graph.n_tiers))) + 1.0,
+        y_lat=np.linspace(100, 600, n)[:, None] * np.ones((n, m)),
+        y_viol=np.zeros(n),
+    )
+
+
+@pytest.fixture
+def setup():
+    graph = make_tiny_graph()
+    qos = QoSTarget(200.0)
+    predictor = OneTierPredictor(graph, qos)
+    dataset = make_dataset(graph)
+    return graph, predictor, dataset
+
+
+class TestExplainTiers:
+    def test_identifies_influential_tier(self, setup):
+        graph, predictor, dataset = setup
+        explainer = LimeExplainer(predictor, n_perturbations=200, seed=0)
+        ranked = explainer.explain_tiers(dataset, top_k=4)
+        assert ranked[0].name == "logic"
+        assert abs(ranked[0].weight) > abs(ranked[-1].weight)
+
+    def test_top_k_respected(self, setup):
+        graph, predictor, dataset = setup
+        explainer = LimeExplainer(predictor, n_perturbations=100, seed=0)
+        assert len(explainer.explain_tiers(dataset, top_k=2)) == 2
+
+    def test_attributions_are_named_tuples(self, setup):
+        graph, predictor, dataset = setup
+        explainer = LimeExplainer(predictor, n_perturbations=60, seed=0)
+        for attr in explainer.explain_tiers(dataset, top_k=3):
+            assert isinstance(attr, TierAttribution)
+            assert attr.name in graph.tier_names
+
+
+class TestExplainResources:
+    def test_identifies_influential_channel(self, setup):
+        graph, predictor, dataset = setup
+        explainer = LimeExplainer(predictor, n_perturbations=200, seed=1)
+        ranked = explainer.explain_resources(dataset, tier="logic", top_k=3)
+        assert ranked[0].name == "cpu_util"  # hot channel is 0
+
+    def test_unknown_tier_raises(self, setup):
+        graph, predictor, dataset = setup
+        explainer = LimeExplainer(predictor, n_perturbations=20, seed=0)
+        with pytest.raises(KeyError):
+            explainer.explain_resources(dataset, tier="nope")
+
+
+class TestConfig:
+    def test_invalid_factor_range(self, setup):
+        graph, predictor, _ = setup
+        with pytest.raises(ValueError):
+            LimeExplainer(predictor, factor_range=(1.3, 0.5))
+        with pytest.raises(ValueError):
+            LimeExplainer(predictor, factor_range=(0.0, 1.0))
+
+    def test_prefers_violation_samples(self, setup):
+        graph, predictor, dataset = setup
+        explainer = LimeExplainer(predictor, seed=0)
+        chosen = explainer._violation_samples(dataset, max_samples=5)
+        assert len(chosen) <= 5
+        # All chosen samples exceed QoS (dataset has many violations).
+        assert np.all(chosen.y_lat[:, -1] > 200.0)

@@ -1,0 +1,165 @@
+"""Hybrid predictor end-to-end tests on the tiny application."""
+
+import numpy as np
+import pytest
+
+from repro.core.data_collection import (
+    BanditExplorer,
+    CollectionConfig,
+    DataCollector,
+)
+from repro.core.predictor import HybridPredictor, PredictorConfig
+from repro.core.qos import QoSTarget
+from repro.ml.cnn import CNNConfig
+from tests.conftest import make_tiny_cluster, make_tiny_graph
+
+QOS = QoSTarget(200.0)
+FAST = PredictorConfig(
+    epochs=20,
+    batch_size=64,
+    cnn=CNNConfig(conv_channels=(4,), rh_embed=16, lh_embed=8, rc_embed=8, latent_dim=16),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    config = CollectionConfig(qos=QOS)
+    collector = DataCollector(
+        lambda users, seed: make_tiny_cluster(users, seed), config
+    )
+    result = collector.collect(
+        BanditExplorer(config, seed=0), loads=[60, 160, 280], seconds_per_load=80
+    )
+    return result.dataset
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_dataset):
+    predictor = HybridPredictor(make_tiny_graph(), QOS, FAST, seed=0)
+    predictor.train(tiny_dataset)
+    return predictor
+
+
+class TestTraining:
+    def test_report_populated(self, trained):
+        report = trained.report
+        assert report.rmse_val > 0
+        assert 0.5 <= report.bt_accuracy_val <= 1.0
+        assert 0 < report.p_up <= 0.9
+        assert report.p_down < report.p_up
+        assert report.n_train > report.n_val
+
+    def test_untrained_predictor_guards(self, tiny_dataset):
+        predictor = HybridPredictor(make_tiny_graph(), QOS, FAST, seed=0)
+        with pytest.raises(RuntimeError):
+            _ = predictor.rmse_val
+        with pytest.raises(RuntimeError):
+            _ = predictor.thresholds
+        with pytest.raises(ValueError, match="trained"):
+            from repro.core.retrain import fine_tune_predictor
+
+            fine_tune_predictor(predictor, tiny_dataset, [10])
+
+    def test_label_cap_requires_boundary_samples(self, tiny_dataset):
+        predictor = HybridPredictor(
+            make_tiny_graph(),
+            QoSTarget(1e-3),  # absurd QoS: every sample above the cap
+            FAST,
+            seed=0,
+        )
+        with pytest.raises(ValueError, match="latency cap"):
+            predictor.train(tiny_dataset)
+
+
+class TestInference:
+    def test_predict_raw_shapes(self, trained, tiny_dataset):
+        lat, prob = trained.predict_raw(
+            tiny_dataset.X_RH[:10], tiny_dataset.X_LH[:10], tiny_dataset.X_RC[:10]
+        )
+        assert lat.shape == (10, 5)
+        assert prob.shape == (10,)
+        assert np.all((prob >= 0) & (prob <= 1))
+
+    def test_predict_candidates_from_live_log(self, trained):
+        cluster = make_tiny_cluster(users=100, seed=9)
+        cluster.run(8)
+        candidates = np.stack(
+            [cluster.current_alloc, cluster.current_alloc * 1.5]
+        )
+        lat, prob = trained.predict_candidates(cluster.telemetry, candidates)
+        assert lat.shape == (2, 5)
+        assert prob.shape == (2,)
+
+    def test_predictions_track_reality_roughly(self, trained, tiny_dataset):
+        """Predictions correlate with measured latency (sanity, not a
+        strict accuracy bar)."""
+        lat, _ = trained.predict_raw(
+            tiny_dataset.X_RH, tiny_dataset.X_LH, tiny_dataset.X_RC
+        )
+        keep = tiny_dataset.y_lat[:, -1] < 480.0
+        if keep.sum() > 20:
+            corr = np.corrcoef(lat[keep, -1], tiny_dataset.y_lat[keep, -1])[0, 1]
+            assert corr > 0.2
+
+    def test_evaluate_keys(self, trained, tiny_dataset):
+        metrics = trained.evaluate(tiny_dataset)
+        assert set(metrics) == {"rmse", "bt_accuracy", "bt_false_neg", "bt_false_pos"}
+
+    def test_threshold_calibration_props(self):
+        probs = np.linspace(0, 1, 100)
+        labels = (probs > 0.5).astype(float)
+        p_up, p_down = HybridPredictor._calibrate_thresholds(probs, labels)
+        assert 0.02 <= p_up <= 0.9
+        assert p_down < p_up
+
+    def test_threshold_calibration_no_violations(self):
+        p_up, p_down = HybridPredictor._calibrate_thresholds(
+            np.zeros(10), np.zeros(10)
+        )
+        assert p_up == 0.5
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, trained, tiny_dataset, tmp_path):
+        path = tmp_path / "predictor.pkl"
+        trained.save(path)
+        loaded = HybridPredictor.load(path)
+        lat_a, prob_a = trained.predict_raw(
+            tiny_dataset.X_RH[:5], tiny_dataset.X_LH[:5], tiny_dataset.X_RC[:5]
+        )
+        lat_b, prob_b = loaded.predict_raw(
+            tiny_dataset.X_RH[:5], tiny_dataset.X_LH[:5], tiny_dataset.X_RC[:5]
+        )
+        np.testing.assert_allclose(lat_a, lat_b)
+        np.testing.assert_allclose(prob_a, prob_b)
+
+    def test_load_rejects_foreign_pickle(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "a predictor"}, fh)
+        with pytest.raises(TypeError):
+            HybridPredictor.load(path)
+
+
+class TestFineTune:
+    def test_fine_tune_updates_report(self, trained, tiny_dataset):
+        import copy
+
+        tuned = copy.deepcopy(trained)
+        before = [p.copy() for p in tuned.cnn.params()]
+        tuned.fine_tune(tiny_dataset, lr_scale=0.01, epochs=2)
+        assert tuned.report is not None
+        moved = any(
+            not np.allclose(b, p) for b, p in zip(before, tuned.cnn.params())
+        )
+        assert moved
+
+    def test_fine_tune_keeps_normalizer(self, trained, tiny_dataset):
+        import copy
+
+        tuned = copy.deepcopy(trained)
+        scale_before = tuned.normalizer.rc_scale
+        tuned.fine_tune(tiny_dataset, epochs=1)
+        assert tuned.normalizer.rc_scale == scale_before

@@ -1,0 +1,81 @@
+"""Incremental retraining tests (paper Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.retrain import RetrainReport, fine_tune_predictor
+from tests.core.test_predictor import FAST, QOS, trained, tiny_dataset  # noqa: F401
+from repro.core.data_collection import (
+    BanditExplorer,
+    CollectionConfig,
+    DataCollector,
+)
+from repro.sim.cluster import GCE_PLATFORM, ClusterSimulator
+from repro.workload.generator import RequestMix, Workload
+from repro.workload.patterns import ConstantLoad
+from tests.conftest import make_tiny_graph
+
+
+@pytest.fixture(scope="module")
+def gce_dataset():
+    """Data from the same app on a noisier, slower platform."""
+    graph = make_tiny_graph()
+    mix = RequestMix.from_ratios({"Read": 9, "Write": 1})
+
+    def factory(users, seed):
+        return ClusterSimulator(
+            graph,
+            Workload(graph, ConstantLoad(users), mix),
+            platform=GCE_PLATFORM,
+            seed=seed,
+        )
+
+    config = CollectionConfig(qos=QOS)
+    collector = DataCollector(factory, config)
+    return collector.collect(
+        BanditExplorer(config, seed=5), loads=[60, 200], seconds_per_load=60
+    ).dataset
+
+
+class TestFineTunePredictor:
+    def test_report_structure(self, trained, gce_dataset):  # noqa: F811
+        tuned, report = fine_tune_predictor(
+            trained, gce_dataset, sample_counts=[20, 60], scenario="gce", epochs=2
+        )
+        assert isinstance(report, RetrainReport)
+        assert report.scenario == "gce"
+        assert report.sample_counts == [20, 60]
+        assert len(report.val_rmse) == 2
+        assert len(report.train_rmse) == 2
+        assert report.base_rmse > 0
+        assert report.converged_rmse() == report.val_rmse[-1]
+
+    def test_returned_predictor_differs_from_original(self, trained, gce_dataset):  # noqa: F811
+        tuned, _ = fine_tune_predictor(
+            trained, gce_dataset, sample_counts=[40], epochs=2
+        )
+        moved = any(
+            not np.allclose(a, b)
+            for a, b in zip(tuned.cnn.params(), trained.cnn.params())
+        )
+        assert moved
+
+    def test_original_predictor_untouched(self, trained, gce_dataset):  # noqa: F811
+        before = [p.copy() for p in trained.cnn.params()]
+        fine_tune_predictor(trained, gce_dataset, sample_counts=[30], epochs=1)
+        for b, p in zip(before, trained.cnn.params()):
+            np.testing.assert_allclose(b, p)
+
+    def test_budget_exceeding_pool_rejected(self, trained, gce_dataset):  # noqa: F811
+        with pytest.raises(ValueError, match="exceeds"):
+            fine_tune_predictor(
+                trained, gce_dataset, sample_counts=[10_000], epochs=1
+            )
+
+    def test_empty_budgets_rejected(self, trained, gce_dataset):  # noqa: F811
+        with pytest.raises(ValueError, match="at least one"):
+            fine_tune_predictor(trained, gce_dataset, sample_counts=[])
+
+    def test_empty_report_converged_rmse(self):
+        report = RetrainReport(scenario="x", base_rmse=42.0)
+        assert report.converged_rmse() == 42.0

@@ -1,0 +1,178 @@
+"""Online-scheduler logic tests against a controllable stub predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ActionKind, ActionSpace
+from repro.core.qos import QoSTarget
+from repro.core.scheduler import OnlineScheduler, SchedulerConfig
+from repro.sim.telemetry import TelemetryLog
+from tests.sim.test_telemetry import make_stats
+
+N = 4
+QOS = QoSTarget(200.0)
+
+
+class StubPredictor:
+    """Predictor with scriptable outputs.
+
+    ``latency_fn(alloc) -> ms`` and ``prob_fn(alloc) -> p`` control the
+    scores each candidate receives.
+    """
+
+    def __init__(self, latency_fn=None, prob_fn=None, rmse=20.0):
+        self.latency_fn = latency_fn or (lambda alloc: 100.0)
+        self.prob_fn = prob_fn or (lambda alloc: 0.0)
+        self.report = object()
+        self._rmse = rmse
+
+    @property
+    def rmse_val(self):
+        return self._rmse
+
+    @property
+    def thresholds(self):
+        return 0.02, 0.08
+
+    def predict_candidates(self, log, candidates):
+        lat = np.array([[self.latency_fn(c)] * 5 for c in candidates])
+        prob = np.array([self.prob_fn(c) for c in candidates])
+        return lat, prob
+
+
+def make_scheduler(predictor, **config):
+    space = ActionSpace(np.full(N, 0.2), np.full(N, 8.0), util_cap=0.6)
+    return OnlineScheduler(predictor, space, QOS, SchedulerConfig(**config))
+
+
+def make_log(p99=100.0, alloc=2.0, n_intervals=6, util=0.3):
+    log = TelemetryLog()
+    for i in range(n_intervals):
+        stats = make_stats(time=float(i), p99=p99, alloc=alloc, n=N)
+        stats.cpu_util[:] = util
+        log.append(stats)
+    return log
+
+
+class TestSelection:
+    def test_empty_log_holds(self):
+        sched = make_scheduler(StubPredictor())
+        assert sched.decide(TelemetryLog()) is None
+
+    def test_safe_state_scales_down(self):
+        """All candidates safe -> pick the cheapest (a scale-down)."""
+        sched = make_scheduler(StubPredictor())
+        alloc = sched.decide(make_log())
+        assert alloc.sum() < 4 * 2.0
+
+    def test_risky_downs_keep_hold(self):
+        """Scale-downs above p_down are rejected; hold is kept."""
+        current_total = 4 * 2.0
+
+        def prob_fn(alloc):
+            return 0.0 if alloc.sum() >= current_total else 0.5
+
+        sched = make_scheduler(StubPredictor(prob_fn=prob_fn))
+        alloc = sched.decide(make_log())
+        assert alloc.sum() == pytest.approx(current_total)
+
+    def test_risky_hold_triggers_scale_up(self):
+        """Hold above p_up -> cheapest acceptable scale-up wins."""
+
+        def prob_fn(alloc):
+            return 0.02 if alloc.sum() > 8.5 else 0.5
+
+        sched = make_scheduler(StubPredictor(prob_fn=prob_fn))
+        alloc = sched.decide(make_log())
+        assert alloc.sum() > 8.0
+
+    def test_all_risky_falls_back_to_max(self):
+        sched = make_scheduler(StubPredictor(prob_fn=lambda a: 0.99))
+        alloc = sched.decide(make_log())
+        np.testing.assert_allclose(alloc, 8.0)
+
+    def test_latency_margin_filters_candidates(self):
+        """Predicted latency above QoS - RMSE_val excludes an action."""
+
+        def latency_fn(alloc):
+            # downs look slow, everything else fast
+            return 300.0 if alloc.sum() < 8.0 else 50.0
+
+        sched = make_scheduler(StubPredictor(latency_fn=latency_fn, rmse=30.0))
+        alloc = sched.decide(make_log())
+        assert alloc.sum() == pytest.approx(8.0)  # hold, no downs allowed
+
+
+class TestSafetyMechanism:
+    def test_unpredicted_violation_boosts_all(self):
+        sched = make_scheduler(StubPredictor())
+        sched.decide(make_log(p99=100.0))  # predicted safe
+        boosted = sched.decide(make_log(p99=400.0))  # violation arrives
+        assert sched.mispredictions == 1
+        assert np.all(boosted >= 2.0 * 1.3)
+
+    def test_violation_blocks_reclamation(self):
+        sched = make_scheduler(StubPredictor())
+        sched.decide(make_log(p99=100.0))
+        sched.decide(make_log(p99=400.0))  # misprediction + boost
+        # Next interval still violating: not another misprediction,
+        # but no scale-down either.
+        alloc = sched.decide(make_log(p99=400.0, alloc=3.0))
+        assert sched.mispredictions == 1
+        assert alloc.sum() >= 4 * 3.0 - 1e-9
+
+    def test_cooldown_after_recovery(self):
+        sched = make_scheduler(StubPredictor(), down_cooldown=3)
+        sched.decide(make_log(p99=100.0))
+        sched.decide(make_log(p99=400.0))  # boost, cooldown set
+        alloc = sched.decide(make_log(p99=100.0, alloc=3.0))
+        assert alloc.sum() >= 4 * 3.0 - 1e-9  # still cooling down
+
+    def test_trust_lost_after_threshold(self):
+        sched = make_scheduler(StubPredictor(), trust_threshold=2)
+        for _ in range(4):
+            sched.decide(make_log(p99=100.0))
+            sched.decide(make_log(p99=400.0))
+        assert not sched.trusted
+
+    def test_reclaim_latency_guard(self):
+        """No reclamation while measured latency exceeds the guard
+        fraction of QoS, even if the model approves."""
+        sched = make_scheduler(StubPredictor(), reclaim_latency_frac=0.8)
+        sched._last_predicted_safe = False  # avoid misprediction path
+        alloc = sched.decide(make_log(p99=170.0))  # 170 > 0.8 * 200
+        assert alloc.sum() >= 4 * 2.0 - 1e-9
+
+
+class TestBookkeeping:
+    def test_prediction_trace_records(self):
+        sched = make_scheduler(StubPredictor())
+        sched.decide(make_log(p99=120.0))
+        assert len(sched.prediction_trace) == 1
+        entry = sched.prediction_trace[0]
+        assert entry["measured_ms"] == pytest.approx(120.0)
+        assert 0.0 <= entry["p_violation"] <= 1.0
+
+    def test_victims_tracked(self):
+        sched = make_scheduler(StubPredictor())
+        sched.decide(make_log())  # scale-down happens
+        assert np.any(sched._victim_age == 0)
+
+    def test_reset_clears_state(self):
+        sched = make_scheduler(StubPredictor())
+        sched.decide(make_log(p99=100.0))
+        sched.decide(make_log(p99=400.0))
+        sched.reset()
+        assert sched.mispredictions == 0
+        assert sched.prediction_trace == []
+        assert sched.decisions == 0
+
+    def test_calibrated_thresholds_used_when_config_none(self):
+        sched = make_scheduler(StubPredictor(), p_down=None, p_up=None)
+        assert sched.p_down == pytest.approx(0.02)
+        assert sched.p_up == pytest.approx(0.08)
+
+    def test_config_overrides_thresholds(self):
+        sched = make_scheduler(StubPredictor(), p_down=0.5, p_up=0.9)
+        assert sched.p_down == 0.5
+        assert sched.p_up == 0.9

@@ -1,0 +1,59 @@
+"""SinanManager wrapper tests (delegation, reset, introspection)."""
+
+import numpy as np
+
+from repro.core.qos import QoSTarget
+from repro.core.sinan import SinanManager
+from repro.core.actions import ActionSpace
+from tests.conftest import make_tiny_graph
+from tests.core.test_scheduler import StubPredictor, make_log
+
+QOS = QoSTarget(200.0)
+
+
+def make_manager(predictor=None):
+    graph = make_tiny_graph()
+    predictor = predictor or StubPredictor()
+    predictor.graph = graph
+    return SinanManager(
+        predictor, QOS, graph,
+        action_space=ActionSpace(graph.min_alloc(), graph.max_alloc()),
+    )
+
+
+class TestSinanManager:
+    def test_name(self):
+        assert make_manager().name == "Sinan"
+
+    def test_decide_delegates_to_scheduler(self):
+        manager = make_manager()
+        alloc = manager.decide(make_log())
+        assert alloc is not None
+        assert alloc.shape == (4,)
+
+    def test_reset_clears_scheduler_state(self):
+        manager = make_manager()
+        manager.decide(make_log(p99=100.0))
+        manager.decide(make_log(p99=400.0))  # misprediction
+        assert manager.mispredictions == 1
+        manager.reset()
+        assert manager.mispredictions == 0
+        assert manager.prediction_trace == []
+
+    def test_trusted_property(self):
+        manager = make_manager()
+        assert manager.trusted
+
+    def test_default_action_space_from_graph(self):
+        graph = make_tiny_graph()
+        predictor = StubPredictor()
+        predictor.graph = graph
+        manager = SinanManager(predictor, QOS, graph)
+        np.testing.assert_allclose(
+            manager.scheduler.action_space.max_alloc, graph.max_alloc()
+        )
+
+    def test_prediction_trace_exposed(self):
+        manager = make_manager()
+        manager.decide(make_log(p99=120.0))
+        assert len(manager.prediction_trace) == 1

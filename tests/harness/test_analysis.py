@@ -1,0 +1,117 @@
+"""Episode analysis helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.qos import QoSTarget
+from repro.harness.analysis import (
+    allocation_churn,
+    mean_drain_time,
+    summarize,
+    tier_stats,
+    violation_episodes,
+)
+from repro.sim.telemetry import TelemetryLog
+from tests.sim.test_telemetry import make_stats
+
+QOS = QoSTarget(200.0)
+
+
+def log_from_p99(series, alloc=2.0):
+    log = TelemetryLog()
+    for i, p99 in enumerate(series):
+        log.append(make_stats(time=float(i), p99=p99, alloc=alloc))
+    return log
+
+
+class TestViolationEpisodes:
+    def test_finds_contiguous_runs(self):
+        log = log_from_p99([100, 300, 400, 100, 100, 500, 100])
+        episodes = violation_episodes(log, QOS)
+        assert [(e.start, e.end) for e in episodes] == [(1, 3), (5, 6)]
+        assert episodes[0].peak_ms == pytest.approx(400.0)
+        assert episodes[0].duration == 2
+
+    def test_open_ended_episode(self):
+        log = log_from_p99([100, 300, 400])
+        episodes = violation_episodes(log, QOS)
+        assert [(e.start, e.end) for e in episodes] == [(1, 3)]
+
+    def test_no_violations(self):
+        log = log_from_p99([100, 150, 120])
+        assert violation_episodes(log, QOS) == []
+        assert mean_drain_time(log, QOS) == 0.0
+
+    def test_mean_drain_time(self):
+        log = log_from_p99([300, 300, 100, 300, 100])
+        assert mean_drain_time(log, QOS) == pytest.approx(1.5)
+
+
+class TestTierStats:
+    def test_ordering_and_values(self):
+        log = TelemetryLog()
+        for _ in range(4):
+            stats = make_stats(alloc=1.0, n=3)
+            stats.cpu_alloc[:] = [1.0, 5.0, 2.0]
+            stats.cpu_util[:] = [0.2, 0.8, 0.5]
+            log.append(stats)
+        result = tier_stats(log, ["a", "b", "c"])
+        assert [s.name for s in result] == ["b", "c", "a"]
+        assert result[0].mean_alloc == pytest.approx(5.0)
+        assert result[0].mean_util == pytest.approx(0.8)
+
+
+class TestChurnAndSummary:
+    def test_churn(self):
+        log = log_from_p99([100, 100, 100])
+        assert allocation_churn(log) == 0.0
+        log2 = TelemetryLog()
+        for alloc in (1.0, 2.0, 1.0):
+            log2.append(make_stats(alloc=alloc, n=2))
+        assert allocation_churn(log2) == pytest.approx(2.0)
+
+    def test_churn_short_log(self):
+        assert allocation_churn(log_from_p99([100])) == 0.0
+
+    def test_summarize_keys(self):
+        log = log_from_p99([100, 300, 100])
+        summary = summarize(log, QOS, ["a", "b", "c"])
+        assert summary["qos_fraction"] == pytest.approx(2 / 3)
+        assert summary["violation_episodes"] == 1
+        assert len(summary["hottest_tiers"]) == 3
+
+
+class TestFigures:
+    def test_sparkline_width_and_range(self):
+        from repro.harness.figures import sparkline
+
+        strip = sparkline([0, 1, 2, 3], width=8)
+        assert len(strip) == 8
+        assert strip[0] == " " and strip[-1] == "@"
+
+    def test_sparkline_empty(self):
+        from repro.harness.figures import sparkline
+
+        assert sparkline([], width=5) == "     "
+
+    def test_sparkline_pinned_scale(self):
+        from repro.harness.figures import sparkline
+
+        low = sparkline([1, 1], width=4, lo=0, hi=10)
+        assert set(low) == {"."}
+
+    def test_timeline_panel(self):
+        from repro.harness.figures import timeline_panel
+
+        text = timeline_panel("T", {"a": [1, 2], "bb": [2, 4]}, width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3
+        assert "bb" in lines[2]
+
+    def test_histogram(self):
+        from repro.harness.figures import histogram
+
+        text = histogram([1, 1, 2, 5], bins=2, title="H")
+        assert text.startswith("H")
+        assert "#" in text

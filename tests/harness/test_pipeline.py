@@ -1,0 +1,89 @@
+"""Pipeline registry and budget tests (no heavy training)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import hotel_reservation, social_network
+from repro.harness.pipeline import (
+    BUDGETS,
+    AppSpec,
+    app_spec,
+    collection_loads,
+    make_cluster,
+    resolve_budget,
+)
+
+
+class TestBudgets:
+    def test_known_budgets(self):
+        assert set(BUDGETS) == {"small", "medium", "large"}
+        for budget in BUDGETS.values():
+            assert budget.total_samples > 0
+
+    def test_resolve_by_name(self):
+        assert resolve_budget("small").name == "small"
+        assert resolve_budget(BUDGETS["large"]) is BUDGETS["large"]
+
+    def test_resolve_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUDGET", "small")
+        assert resolve_budget(None).name == "small"
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError, match="unknown budget"):
+            resolve_budget("galactic")
+
+
+class TestAppSpecs:
+    def test_lookup_by_name_and_graph(self):
+        spec = app_spec("social_network")
+        assert spec.qos.latency_ms == 500.0
+        graph = social_network()
+        assert app_spec(graph).name == "social_network"
+
+    def test_hotel_spec(self):
+        spec = app_spec("hotel_reservation")
+        assert spec.qos.latency_ms == 200.0
+        assert spec.fig11_loads[0] == 1000
+        assert spec.fig11_loads[-1] == 3700
+
+    def test_social_fig11_loads_match_paper(self):
+        spec = app_spec("social_network")
+        assert spec.fig11_loads == (50, 100, 150, 200, 250, 300, 350, 400, 450)
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            app_spec("tinder_for_dogs")
+
+    def test_collection_loads_span_range(self):
+        spec = app_spec("social_network")
+        loads = collection_loads(spec, resolve_budget("medium"))
+        assert len(loads) == BUDGETS["medium"].collection_loads
+        lo, hi = spec.collection_load_range
+        assert loads[0] == pytest.approx(lo)
+        assert loads[-1] == pytest.approx(hi)
+
+
+class TestMakeCluster:
+    def test_builds_runnable_cluster(self):
+        graph = hotel_reservation()
+        cluster = make_cluster(graph, users=500, seed=1)
+        stats = cluster.step()
+        assert stats.rps > 0
+        assert cluster.graph is graph
+
+    def test_pattern_override(self):
+        from repro.workload.patterns import DiurnalLoad
+
+        graph = social_network()
+        cluster = make_cluster(
+            graph, users=0, pattern=DiurnalLoad(base=100, amplitude=50)
+        )
+        assert cluster.workload.pattern.base == 100
+
+    def test_behaviors_injected(self):
+        from repro.apps import RedisLogSync
+
+        graph = social_network()
+        sync = RedisLogSync(graph)
+        cluster = make_cluster(graph, users=50, behaviors=(sync,))
+        assert cluster.engine.behaviors == (sync,)

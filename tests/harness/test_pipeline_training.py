@@ -1,0 +1,41 @@
+"""End-to-end pipeline training at the small budget (slower test).
+
+Exercises ``get_trained_predictor`` / ``build_sinan_pipeline`` on the
+real Hotel Reservation app with an isolated cache directory, including
+the cache round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import pipeline as pl
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    pl._memory_cache.clear()
+    yield tmp_path
+    pl._memory_cache.clear()
+
+
+def test_small_budget_pipeline_end_to_end(isolated_cache):
+    predictor = pl.get_trained_predictor("hotel_reservation", "small", seed=3)
+    assert predictor.report is not None
+    assert predictor.report.rmse_val > 0
+
+    # Disk cache written and reloadable into a fresh memory cache.
+    cached_files = list(isolated_cache.glob("predictor-hotel_reservation-*.pkl"))
+    assert len(cached_files) == 1
+    pl._memory_cache.clear()
+    again = pl.get_trained_predictor("hotel_reservation", "small", seed=3)
+    np.testing.assert_allclose(
+        again.cnn.params()[0], predictor.cnn.params()[0]
+    )
+
+    # The full pipeline wires the manager and a runnable cluster.
+    graph = pl.app_spec("hotel_reservation").graph_factory()
+    manager, cluster = pl.build_sinan_pipeline(graph, users=1200, seed=3, budget="small")
+    alloc = manager.decide(cluster.telemetry) if len(cluster.telemetry) else None
+    stats = cluster.step(alloc)
+    assert stats.rps > 0

@@ -1,0 +1,100 @@
+"""Boosted-trees classifier tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.boosted_trees import BoostedTrees, BoostedTreesConfig
+
+
+def blobs(n=1000, seed=0):
+    """Nonlinearly separable binary problem."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = ((X[:, 0] + 0.5 * X[:, 1] ** 2 - 0.3 * X[:, 2]) > 0.4).astype(float)
+    return X, y
+
+
+class TestTraining:
+    def test_learns_nonlinear_boundary(self):
+        X, y = blobs(1500)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=150), seed=0)
+        bt.fit(X[:1200], y[:1200], X[1200:], y[1200:])
+        assert bt.val_accuracy > 0.9
+        assert bt.train_accuracy >= bt.val_accuracy - 0.05
+
+    def test_early_stopping_limits_trees(self):
+        X, y = blobs(800)
+        config = BoostedTreesConfig(n_trees=400, early_stopping_rounds=10)
+        bt = BoostedTrees(config, seed=0).fit(X[:600], y[:600], X[600:], y[600:])
+        assert 0 < bt.n_trees_used <= 400
+
+    def test_degenerate_single_class(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        y = np.zeros(50)
+        bt = BoostedTrees(seed=0).fit(X, y)
+        assert bt.n_trees_used == 0
+        assert np.all(bt.predict_proba(X) < 0.5)
+        assert bt.train_accuracy == 1.0
+
+    def test_input_validation(self):
+        bt = BoostedTrees()
+        with pytest.raises(ValueError):
+            bt.fit(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            bt.fit(np.ones(3), np.ones(3))
+
+    def test_fit_without_validation_set(self):
+        X, y = blobs(300)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=20), seed=0).fit(X, y)
+        assert bt.n_trees_used == 20
+        assert np.isnan(bt.val_accuracy)
+
+    def test_min_child_weight_regularizes(self):
+        X, y = blobs(400)
+        loose = BoostedTrees(BoostedTreesConfig(n_trees=50, min_child_weight=0.001), seed=0)
+        tight = BoostedTrees(BoostedTreesConfig(n_trees=50, min_child_weight=20.0), seed=0)
+        loose.fit(X, y)
+        tight.fit(X, y)
+        assert loose.train_accuracy >= tight.train_accuracy
+
+
+class TestInference:
+    def test_probabilities_in_unit_interval(self):
+        X, y = blobs(500)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=40), seed=1).fit(X, y)
+        probs = bt.predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_predict_threshold(self):
+        X, y = blobs(500)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=40), seed=1).fit(X, y)
+        strict = bt.predict(X, threshold=0.9).sum()
+        loose = bt.predict(X, threshold=0.1).sum()
+        assert loose >= strict
+
+    def test_single_row_input(self):
+        X, y = blobs(300)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=20), seed=0).fit(X, y)
+        out = bt.predict_proba(X[0])
+        assert out.shape == (1,)
+
+    def test_margin_is_logit_of_proba(self):
+        X, y = blobs(300)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=20), seed=0).fit(X, y)
+        margin = bt.predict_margin(X[:10])
+        prob = bt.predict_proba(X[:10])
+        np.testing.assert_allclose(prob, 1 / (1 + np.exp(-margin)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_calibrated_direction(self, seed):
+        """Higher signal feature should not reduce violation probability
+        on a monotone problem."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(float)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=20), seed=0).fit(X, y)
+        low = bt.predict_proba(np.array([[-2.0, 0.0]]))[0]
+        high = bt.predict_proba(np.array([[2.0, 0.0]]))[0]
+        assert high >= low

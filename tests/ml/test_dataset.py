@@ -1,0 +1,113 @@
+"""Dataset container and normalizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import FeatureNormalizer, SinanDataset
+
+
+def make_dataset(n=20, n_tiers=4, t=3, f=6, m=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return SinanDataset(
+        X_RH=rng.normal(size=(n, f, n_tiers, t)) + 5.0,
+        X_LH=np.abs(rng.normal(size=(n, t, m))) * 100,
+        X_RC=np.abs(rng.normal(size=(n, n_tiers))) + 0.5,
+        y_lat=np.linspace(50, 1000, n)[:, None] * np.ones((n, m)),
+        y_viol=(np.arange(n) % 2).astype(float),
+    )
+
+
+class TestSinanDataset:
+    def test_length_and_dims(self):
+        ds = make_dataset()
+        assert len(ds) == 20
+        assert ds.n_tiers == 4
+        assert ds.n_channels == 6
+        assert ds.n_timesteps == 3
+        assert ds.n_percentiles == 5
+
+    def test_rejects_misaligned_arrays(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError, match="length mismatch"):
+            SinanDataset(
+                X_RH=ds.X_RH,
+                X_LH=ds.X_LH[:-1],
+                X_RC=ds.X_RC,
+                y_lat=ds.y_lat,
+                y_viol=ds.y_viol,
+            )
+
+    def test_subset(self):
+        ds = make_dataset()
+        sub = ds.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_allclose(sub.y_lat[1], ds.y_lat[5])
+
+    def test_filter_latency_below(self):
+        ds = make_dataset()
+        filtered = ds.filter_latency_below(500.0)
+        assert len(filtered) > 0
+        assert np.all(filtered.y_lat[:, -1] < 500.0)
+
+    def test_split_ratio(self):
+        ds = make_dataset(n=100)
+        split = ds.split(0.9, np.random.default_rng(1))
+        assert len(split.train) == 90
+        assert len(split.val) == 10
+        # No overlap: union of latencies matches original multiset.
+        combined = np.sort(
+            np.concatenate([split.train.y_lat[:, 0], split.val.y_lat[:, 0]])
+        )
+        np.testing.assert_allclose(combined, np.sort(ds.y_lat[:, 0]))
+
+    def test_split_validates_fraction(self):
+        with pytest.raises(ValueError):
+            make_dataset().split(1.0)
+
+    def test_concatenate(self):
+        a, b = make_dataset(n=5), make_dataset(n=7, seed=1)
+        merged = SinanDataset.concatenate([a, b])
+        assert len(merged) == 12
+        with pytest.raises(ValueError):
+            SinanDataset.concatenate([])
+
+    def test_violation_fraction(self):
+        ds = make_dataset(n=10)
+        assert ds.violation_fraction() == pytest.approx(0.5)
+
+
+class TestFeatureNormalizer:
+    def test_requires_fit(self):
+        norm = FeatureNormalizer(qos_ms=500.0)
+        ds = make_dataset()
+        assert not norm.fitted
+        with pytest.raises(RuntimeError):
+            norm.transform(ds.X_RH, ds.X_LH, ds.X_RC)
+        with pytest.raises(RuntimeError):
+            _ = norm.rc_scale
+
+    def test_standardizes_rh_channels(self):
+        ds = make_dataset(n=200)
+        norm = FeatureNormalizer(qos_ms=500.0).fit(ds)
+        rh, lh, rc = norm.transform(ds.X_RH, ds.X_LH, ds.X_RC)
+        means = rh.mean(axis=(0, 2, 3))
+        stds = rh.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(means, 0.0, atol=1e-8)
+        np.testing.assert_allclose(stds, 1.0, atol=1e-6)
+
+    def test_latency_scaled_by_qos(self):
+        ds = make_dataset()
+        norm = FeatureNormalizer(qos_ms=200.0).fit(ds)
+        _, lh, _ = norm.transform(ds.X_RH, ds.X_LH, ds.X_RC)
+        np.testing.assert_allclose(lh, ds.X_LH / 200.0)
+
+    def test_transform_dataset_preserves_labels(self):
+        ds = make_dataset()
+        norm = FeatureNormalizer(qos_ms=500.0).fit(ds)
+        out = norm.transform_dataset(ds)
+        np.testing.assert_allclose(out.y_lat, ds.y_lat)
+        np.testing.assert_allclose(out.y_viol, ds.y_viol)
+
+    def test_rejects_bad_qos(self):
+        with pytest.raises(ValueError):
+            FeatureNormalizer(qos_ms=0.0)

@@ -1,0 +1,122 @@
+"""Loss and latency-scaler tests (paper Eq. 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.losses import (
+    BCEWithLogitsLoss,
+    LatencyScaler,
+    MSELoss,
+    ScaledMSELoss,
+)
+
+
+class TestLatencyScaler:
+    def test_identity_below_knee(self):
+        scaler = LatencyScaler(t=100.0, alpha=0.01)
+        x = np.array([0.0, 50.0, 100.0])
+        np.testing.assert_allclose(scaler.scale(x), x)
+
+    def test_compresses_above_knee(self):
+        scaler = LatencyScaler(t=100.0, alpha=0.01)
+        assert scaler.scale(np.array([200.0]))[0] == pytest.approx(150.0)
+        assert scaler.scale(np.array([1e9]))[0] < scaler.ceiling
+
+    def test_ceiling(self):
+        scaler = LatencyScaler(t=100.0, alpha=0.01)
+        assert scaler.ceiling == pytest.approx(200.0)
+
+    def test_figure7_alpha_variants(self):
+        """Larger alpha compresses the above-QoS range more (Figure 7)."""
+        x = np.array([300.0])
+        values = [
+            LatencyScaler(t=100.0, alpha=a).scale(x)[0]
+            for a in (0.005, 0.01, 0.02)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_derivative_matches_numeric(self):
+        scaler = LatencyScaler(t=100.0, alpha=0.01)
+        for x in (10.0, 99.0, 150.0, 400.0):
+            eps = 1e-5
+            num = (scaler.scale(x + eps) - scaler.scale(x - eps)) / (2 * eps)
+            assert scaler.derivative(np.array([x]))[0] == pytest.approx(
+                float(num), rel=1e-4
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyScaler(t=0.0)
+        with pytest.raises(ValueError):
+            LatencyScaler(t=10.0, alpha=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_property_monotone_nondecreasing(self, x):
+        scaler = LatencyScaler(t=100.0, alpha=0.01)
+        assert scaler.scale(np.array([x + 1.0]))[0] >= scaler.scale(np.array([x]))[0]
+
+    @given(st.floats(min_value=0.0, max_value=5e3))
+    def test_property_inverse_roundtrip(self, x):
+        scaler = LatencyScaler(t=100.0, alpha=0.01)
+        scaled = scaler.scale(np.array([x]))
+        assert scaler.inverse(scaled)[0] == pytest.approx(x, rel=1e-3, abs=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_property_bounded_by_ceiling(self, x):
+        scaler = LatencyScaler(t=50.0, alpha=0.02)
+        assert scaler.scale(np.array([x]))[0] <= scaler.ceiling
+
+
+class TestLosses:
+    def test_mse_value_and_grad(self):
+        loss = MSELoss()
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 4.0]])
+        value, grad = loss(pred, target)
+        assert value == pytest.approx((1 + 4) / 2)
+        np.testing.assert_allclose(grad, [[1.0, -2.0]])
+
+    def test_scaled_mse_ignores_far_above_qos_differences(self):
+        scaler = LatencyScaler(t=100.0, alpha=0.05)
+        loss = ScaledMSELoss(scaler)
+        target = np.array([[1000.0]])
+        v_near, _ = loss(np.array([[90.0]]), target)
+        # Errors between two far-above-QoS values are compressed.
+        v_far, _ = loss(np.array([[2000.0]]), np.array([[1000.0]]))
+        assert v_far < v_near
+
+    def test_scaled_mse_grad_matches_numeric(self):
+        scaler = LatencyScaler(t=100.0, alpha=0.01)
+        loss = ScaledMSELoss(scaler)
+        target = np.array([[80.0, 300.0]])
+        pred = np.array([[120.0, 150.0]])
+        _, grad = loss(pred, target)
+        eps = 1e-5
+        for idx in np.ndindex(pred.shape):
+            plus = pred.copy()
+            plus[idx] += eps
+            v_plus, _ = loss(plus, target)
+            minus = pred.copy()
+            minus[idx] -= eps
+            v_minus, _ = loss(minus, target)
+            num = (v_plus - v_minus) / (2 * eps)
+            assert grad[idx] == pytest.approx(num, rel=1e-4, abs=1e-8)
+
+    def test_bce_matches_reference(self):
+        loss = BCEWithLogitsLoss()
+        logits = np.array([[0.0], [2.0]])
+        target = np.array([[1.0], [0.0]])
+        value, grad = loss(logits, target)
+        prob = 1 / (1 + np.exp(-logits))
+        expected = -np.mean(
+            target * np.log(prob) + (1 - target) * np.log(1 - prob)
+        )
+        assert value == pytest.approx(float(expected))
+        np.testing.assert_allclose(grad, (prob - target) / 2, rtol=1e-6)
+
+    def test_bce_stable_for_extreme_logits(self):
+        loss = BCEWithLogitsLoss()
+        value, grad = loss(np.array([[500.0, -500.0]]), np.array([[1.0, 0.0]]))
+        assert np.isfinite(value)
+        assert np.isfinite(grad).all()

@@ -1,0 +1,70 @@
+"""Behavior injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.behaviors import Behavior, CapacityFault
+
+
+class TestCapacityFault:
+    def test_stall_windows(self):
+        fault = CapacityFault(tier_index=1, period=60.0, duration=2.0)
+        mult = fault.capacity_multiplier(0.5, 3)
+        assert mult is not None
+        assert mult[1] == pytest.approx(0.05)
+        assert mult[0] == 1.0
+        assert fault.capacity_multiplier(10.0, 3) is None
+        # next period
+        assert fault.capacity_multiplier(60.5, 3) is not None
+
+    def test_start_offset_shifts_phase(self):
+        fault = CapacityFault(tier_index=0, period=60.0, duration=2.0, start_offset=30.0)
+        assert fault.capacity_multiplier(0.5, 2) is None
+        assert fault.capacity_multiplier(30.5, 2) is not None
+
+    def test_rss_spike_only_during_stall(self):
+        fault = CapacityFault(
+            tier_index=0, period=60.0, duration=2.0, rss_spike_mb=400.0
+        )
+        extra = fault.rss_extra_mb(1.0, 2)
+        assert extra is not None and extra[0] == pytest.approx(400.0)
+        assert fault.rss_extra_mb(30.0, 2) is None
+
+    def test_no_rss_spike_when_zero(self):
+        fault = CapacityFault(tier_index=0, period=60.0, duration=2.0)
+        assert fault.rss_extra_mb(1.0, 2) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityFault(0, period=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            CapacityFault(0, period=10.0, duration=1.0, residual_capacity=0.0)
+        with pytest.raises(ValueError):
+            CapacityFault(0, period=10.0, duration=1.0, residual_capacity=1.5)
+
+    def test_base_behavior_is_noop(self):
+        behavior = Behavior()
+        assert behavior.capacity_multiplier(0.0, 3) is None
+        assert behavior.rss_extra_mb(0.0, 3) is None
+        assert behavior.cache_extra_mb(0.0, 3) is None
+
+
+class TestFaultInEngine:
+    def test_fault_causes_periodic_latency_spike(self, tiny_graph):
+        from repro.sim.engine import EngineConfig, QueueingEngine
+
+        fault = CapacityFault(
+            tier_index=tiny_graph.index["db"],
+            period=30.0,
+            duration=2.0,
+            residual_capacity=0.02,
+            start_offset=10.0,
+        )
+        cfg = EngineConfig(rate_cv=0.0, spike_prob=0.0, capacity_jitter=0.0)
+        eng = QueueingEngine(tiny_graph, cfg, seed=0, behaviors=(fault,))
+        alloc = tiny_graph.max_alloc()
+        rates = np.array([200.0, 20.0])
+        p99 = [eng.run_interval(alloc, rates).p99_ms for _ in range(20)]
+        calm = np.median(p99[:9])
+        spike = max(p99[10:13])
+        assert spike > 3 * calm

@@ -1,0 +1,82 @@
+"""Property-based invariants of the queueing engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import EngineConfig, QueueingEngine
+from tests.conftest import make_tiny_graph
+
+GRAPH = make_tiny_graph()
+
+
+def quiet_engine(seed=0, **overrides):
+    cfg = dict(rate_cv=0.0, spike_prob=0.0, capacity_jitter=0.0)
+    cfg.update(overrides)
+    return QueueingEngine(GRAPH, EngineConfig(**cfg), seed=seed)
+
+
+alloc_strategy = st.lists(
+    st.floats(min_value=0.2, max_value=8.0), min_size=4, max_size=4
+).map(np.array)
+
+rate_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=300.0),
+    st.floats(min_value=0.0, max_value=60.0),
+).map(np.array)
+
+
+class TestEngineInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(alloc_strategy, rate_strategy, st.integers(0, 1000))
+    def test_telemetry_always_finite_and_nonnegative(self, alloc, rates, seed):
+        eng = quiet_engine(seed=seed)
+        for _ in range(3):
+            stats = eng.run_interval(alloc, rates)
+        assert np.isfinite(stats.latency_ms).all()
+        assert np.all(stats.latency_ms >= 0)
+        assert np.all(stats.cpu_util >= 0) and np.all(stats.cpu_util <= 1)
+        assert np.all(stats.queue >= 0)
+        assert np.all(stats.rss_mb > 0)
+        assert stats.drops >= 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(alloc_strategy, rate_strategy, st.integers(0, 1000))
+    def test_percentiles_sorted(self, alloc, rates, seed):
+        eng = quiet_engine(seed=seed)
+        stats = eng.run_interval(alloc, rates)
+        assert np.all(np.diff(stats.latency_ms) >= -1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(alloc_strategy, rate_strategy, st.integers(0, 1000))
+    def test_latency_bounded_by_timeout(self, alloc, rates, seed):
+        eng = quiet_engine(seed=seed)
+        for _ in range(4):
+            stats = eng.run_interval(alloc, rates)
+        assert stats.p99_ms <= eng.config.drop_latency * 1000 + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(rate_strategy, st.integers(0, 1000))
+    def test_queue_conservation(self, rates, seed):
+        """Queue delta equals arrivals - completions - drops per tier
+        (flow conservation in the fluid model)."""
+        eng = quiet_engine(seed=seed)
+        alloc = np.full(4, 0.5)
+        before = eng.queue.copy()
+        stats = eng.run_interval(alloc, rates)
+        arrived = stats.rx_pps / np.array([t.pkts_per_req for t in GRAPH.tiers])
+        completed = stats.tx_pps / np.array([t.pkts_per_req for t in GRAPH.tiers])
+        np.testing.assert_allclose(
+            eng.queue, before + arrived - completed - 0.0, atol=stats.drops + 1e-6
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_same_seed_same_trajectory(self, seed):
+        rates = np.array([120.0, 12.0])
+        alloc = np.full(4, 1.0)
+        a, b = quiet_engine(seed=seed), quiet_engine(seed=seed)
+        for _ in range(3):
+            sa = a.run_interval(alloc, rates)
+            sb = b.run_interval(alloc, rates)
+        np.testing.assert_allclose(sa.latency_ms, sb.latency_ms)
+        np.testing.assert_allclose(sa.queue, sb.queue)

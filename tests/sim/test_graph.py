@@ -1,0 +1,110 @@
+"""Unit tests for the application graph."""
+
+import numpy as np
+import pytest
+
+from repro.sim.graph import AppGraph, RequestType
+from repro.sim.tier import TierKind, TierSpec
+
+
+def two_tiers():
+    return [TierSpec("a", kind=TierKind.FRONTEND), TierSpec("b", kind=TierKind.DB)]
+
+
+class TestRequestType:
+    def test_requires_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            RequestType("r", stages=())
+
+    def test_rejects_empty_stage(self):
+        with pytest.raises(ValueError, match="empty stage"):
+            RequestType("r", stages=((),))
+
+    def test_tiers_deduplicated_in_order(self):
+        r = RequestType("r", stages=(("a",), ("b", "a"), ("c",)))
+        assert r.tiers == ("a", "b", "c")
+
+    def test_visits_counts_appearances_times_work(self):
+        r = RequestType("r", stages=(("a",), ("a", "b")), work={"a": 2.0})
+        assert r.visits("a") == pytest.approx(4.0)
+        assert r.visits("b") == pytest.approx(1.0)
+        assert r.visits("missing") == pytest.approx(0.0)
+
+
+class TestAppGraphValidation:
+    def test_rejects_duplicate_tier_names(self):
+        tiers = [TierSpec("a"), TierSpec("a")]
+        with pytest.raises(ValueError, match="duplicate"):
+            AppGraph("app", tiers, [], [RequestType("r", (("a",),))])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(ValueError, match="not a tier"):
+            AppGraph("app", two_tiers(), [("a", "zz")], [RequestType("r", (("a",),))])
+
+    def test_rejects_unknown_request_tier(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            AppGraph("app", two_tiers(), [], [RequestType("r", (("zz",),))])
+
+    def test_rejects_cyclic_call_graph(self):
+        with pytest.raises(ValueError, match="acyclic"):
+            AppGraph(
+                "app",
+                two_tiers(),
+                [("a", "b"), ("b", "a")],
+                [RequestType("r", (("a",),))],
+            )
+
+    def test_rejects_empty_tiers(self):
+        with pytest.raises(ValueError, match="at least one tier"):
+            AppGraph("app", [], [], [])
+
+    def test_rejects_duplicate_request_types(self):
+        reqs = [RequestType("r", (("a",),)), RequestType("r", (("b",),))]
+        with pytest.raises(ValueError, match="duplicate request type"):
+            AppGraph("app", two_tiers(), [], reqs)
+
+
+class TestAppGraphStructure:
+    def test_visit_matrix(self, tiny_graph):
+        read = tiny_graph.type_names.index("Read")
+        db = tiny_graph.index["db"]
+        logic = tiny_graph.index["logic"]
+        assert tiny_graph.visit_matrix[read, db] == pytest.approx(0.3)
+        assert tiny_graph.visit_matrix[read, logic] == pytest.approx(1.0)
+
+    def test_reverse_topo_children_first(self, tiny_graph):
+        order = list(tiny_graph.reverse_topo_order)
+        for idx in range(tiny_graph.n_tiers):
+            for child in tiny_graph.children[idx]:
+                assert order.index(int(child)) < order.index(idx)
+
+    def test_alloc_bounds_vectors(self, tiny_graph):
+        assert tiny_graph.min_alloc().shape == (4,)
+        assert np.all(tiny_graph.min_alloc() <= tiny_graph.max_alloc())
+
+    def test_request_type_lookup(self, tiny_graph):
+        assert tiny_graph.request_type("Read").name == "Read"
+        with pytest.raises(KeyError):
+            tiny_graph.request_type("nope")
+
+    def test_map_tiers_keeps_topology(self, tiny_graph):
+        scaled = tiny_graph.map_tiers(lambda t: t.scaled(cpu_scale=2.0))
+        assert scaled.tier_names == tiny_graph.tier_names
+        assert scaled.tiers[0].cpu_per_req == pytest.approx(
+            2.0 * tiny_graph.tiers[0].cpu_per_req
+        )
+        assert set(scaled.digraph.edges) == set(tiny_graph.digraph.edges)
+
+    def test_with_tiers_rejects_reordered_names(self, tiny_graph):
+        reordered = list(reversed(tiny_graph.tiers))
+        with pytest.raises(ValueError, match="names and order"):
+            tiny_graph.with_tiers(reordered)
+
+    def test_stage_indices_align_with_stages(self, tiny_graph):
+        read = tiny_graph.type_names.index("Read")
+        stages = tiny_graph.stage_indices[read]
+        assert [list(s) for s in stages] == [
+            [tiny_graph.index["front"]],
+            [tiny_graph.index["logic"]],
+            [tiny_graph.index["cache"], tiny_graph.index["db"]],
+        ]

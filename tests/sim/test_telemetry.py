@@ -1,0 +1,95 @@
+"""Telemetry container tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.telemetry import (
+    LATENCY_PERCENTILES,
+    RESOURCE_CHANNELS,
+    IntervalStats,
+    TelemetryLog,
+)
+
+
+def make_stats(time=1.0, p99=100.0, alloc=2.0, n=3):
+    latency = np.linspace(p99 * 0.8, p99, len(LATENCY_PERCENTILES))
+    return IntervalStats(
+        time=time,
+        rps=50.0,
+        rps_by_type={"r": 50.0},
+        cpu_alloc=np.full(n, alloc),
+        cpu_util=np.full(n, 0.5),
+        rss_mb=np.full(n, 100.0),
+        cache_mb=np.full(n, 50.0),
+        rx_pps=np.full(n, 10.0),
+        tx_pps=np.full(n, 10.0),
+        queue=np.zeros(n),
+        latency_ms=latency,
+    )
+
+
+class TestIntervalStats:
+    def test_p99_is_last_percentile(self):
+        stats = make_stats(p99=123.0)
+        assert stats.p99_ms == pytest.approx(123.0)
+        assert LATENCY_PERCENTILES[-1] == 99
+
+    def test_total_cpu(self):
+        assert make_stats(alloc=2.0, n=4).total_cpu == pytest.approx(8.0)
+
+    def test_resource_matrix_layout(self):
+        stats = make_stats(n=3)
+        matrix = stats.resource_matrix()
+        assert matrix.shape == (len(RESOURCE_CHANNELS), 3)
+        np.testing.assert_allclose(matrix[0], stats.cpu_util)
+        np.testing.assert_allclose(matrix[1], stats.cpu_alloc)
+
+
+class TestTelemetryLog:
+    def test_empty_log_raises(self):
+        log = TelemetryLog()
+        with pytest.raises(IndexError):
+            _ = log.latest
+        with pytest.raises(IndexError):
+            log.window(3)
+
+    def test_window_pads_with_oldest(self):
+        log = TelemetryLog()
+        log.append(make_stats(time=1.0, p99=10.0))
+        log.append(make_stats(time=2.0, p99=20.0))
+        window = log.window(5)
+        assert len(window) == 5
+        assert [w.p99_ms for w in window] == [10.0, 10.0, 10.0, 10.0, 20.0]
+
+    def test_window_takes_tail(self):
+        log = TelemetryLog()
+        for i in range(10):
+            log.append(make_stats(time=i, p99=float(i)))
+        window = log.window(3)
+        assert [w.p99_ms for w in window] == [7.0, 8.0, 9.0]
+
+    def test_series_helpers(self):
+        log = TelemetryLog()
+        for i in range(4):
+            log.append(make_stats(time=i, p99=100.0 * (i + 1), alloc=i + 1))
+        np.testing.assert_allclose(log.p99_series(), [100, 200, 300, 400])
+        assert log.total_cpu_series()[0] == pytest.approx(3.0)
+        assert log.latency_matrix().shape == (4, len(LATENCY_PERCENTILES))
+        assert log.alloc_matrix().shape == (4, 3)
+        assert len(log.rps_series()) == 4
+
+    def test_qos_meet_fraction(self):
+        log = TelemetryLog()
+        for p99 in (100.0, 200.0, 300.0, 400.0):
+            log.append(make_stats(p99=p99))
+        assert log.qos_meet_fraction(250.0) == pytest.approx(0.5)
+        assert TelemetryLog().qos_meet_fraction(100.0) == 1.0
+
+    def test_iteration_and_indexing(self):
+        log = TelemetryLog()
+        log.append(make_stats(p99=1.0))
+        log.append(make_stats(p99=2.0))
+        assert len(log) == 2
+        assert log[0].p99_ms == 1.0
+        assert [s.p99_ms for s in log] == [1.0, 2.0]
+        assert log.latest.p99_ms == 2.0

@@ -1,0 +1,73 @@
+"""Unit tests for tier specifications."""
+
+import pytest
+
+from repro.sim.tier import TierKind, TierSpec
+
+
+class TestTierSpecDefaults:
+    def test_kind_defaults_applied(self):
+        tier = TierSpec("t", kind=TierKind.CACHE)
+        assert tier.cpu_per_req == pytest.approx(0.0008)
+        assert tier.base_latency == pytest.approx(0.0005)
+        assert tier.conc_per_core > 0
+        assert tier.soft_throughput > 0
+
+    def test_explicit_values_override_defaults(self):
+        tier = TierSpec("t", kind=TierKind.ML, cpu_per_req=0.1, base_latency=0.01)
+        assert tier.cpu_per_req == 0.1
+        assert tier.base_latency == 0.01
+
+    @pytest.mark.parametrize("kind", list(TierKind))
+    def test_all_kinds_have_defaults(self, kind):
+        tier = TierSpec("t", kind=kind)
+        assert tier.cpu_per_req > 0
+        assert tier.base_latency >= 0
+
+
+class TestTierSpecValidation:
+    def test_rejects_nonpositive_cpu(self):
+        with pytest.raises(ValueError, match="cpu_per_req"):
+            TierSpec("t", cpu_per_req=0.0)
+
+    def test_rejects_negative_base_latency(self):
+        with pytest.raises(ValueError, match="base_latency"):
+            TierSpec("t", base_latency=-1.0)
+
+    def test_rejects_bad_cpu_bounds(self):
+        with pytest.raises(ValueError, match="min_cpu"):
+            TierSpec("t", min_cpu=2.0, max_cpu=1.0)
+        with pytest.raises(ValueError, match="min_cpu"):
+            TierSpec("t", min_cpu=0.0)
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ValueError, match="replicas"):
+            TierSpec("t", replicas=0)
+
+    def test_rejects_nonpositive_soft_throughput(self):
+        with pytest.raises(ValueError, match="soft_throughput"):
+            TierSpec("t", soft_throughput=0.0)
+
+
+class TestTierSpecCopies:
+    def test_with_replicas_scales_ceiling(self):
+        tier = TierSpec("t", max_cpu=4.0)
+        doubled = tier.with_replicas(3)
+        assert doubled.replicas == 3
+        assert doubled.total_max_cpu == pytest.approx(12.0)
+        assert doubled.name == tier.name
+        assert doubled.cpu_per_req == tier.cpu_per_req
+
+    def test_scaled_multiplies_demand(self):
+        tier = TierSpec("t", cpu_per_req=0.01, base_latency=0.002)
+        heavier = tier.scaled(cpu_scale=1.5, base_scale=2.0)
+        assert heavier.cpu_per_req == pytest.approx(0.015)
+        assert heavier.base_latency == pytest.approx(0.004)
+        # unrelated fields preserved
+        assert heavier.soft_throughput == tier.soft_throughput
+        assert heavier.min_cpu == tier.min_cpu
+
+    def test_copies_are_frozen(self):
+        tier = TierSpec("t")
+        with pytest.raises(AttributeError):
+            tier.max_cpu = 100.0

@@ -1,0 +1,56 @@
+"""CLI smoke tests (argument handling; heavy paths run at small budget)."""
+
+import pytest
+
+from repro.cli import _build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = _build_parser().parse_args(["train"])
+        assert args.app == "social_network"
+        assert args.budget is None
+        assert args.seed == 0
+
+    def test_run_manager_choices(self):
+        args = _build_parser().parse_args(
+            ["run", "--manager", "powerchief", "--users", "500"]
+        )
+        assert args.manager == "powerchief"
+        assert args.users == 500.0
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["run", "--manager", "nope"])
+
+    def test_sweep_manager_list(self):
+        args = _build_parser().parse_args(
+            ["sweep", "--managers", "autoscale-opt,powerchief"]
+        )
+        assert args.managers == "autoscale-opt,powerchief"
+
+    def test_explain_tier_flag(self):
+        args = _build_parser().parse_args(["explain", "--tier", "graph-redis"])
+        assert args.tier == "graph-redis"
+
+
+class TestExecution:
+    def test_run_autoscale_episode(self, capsys):
+        code = main([
+            "run", "--manager", "autoscale-opt", "--app", "hotel_reservation",
+            "--users", "800", "--duration", "25",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean CPU" in out
+        assert "P(meet QoS)" in out
+
+    def test_run_powerchief_episode(self, capsys):
+        code = main([
+            "run", "--manager", "powerchief", "--app", "social_network",
+            "--users", "80", "--duration", "25",
+        ])
+        assert code == 0
+        assert "PowerChief" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""End-to-end integration: collect -> train -> deploy Sinan on the tiny app.
+
+The real applications are exercised by the benchmark suite; here the
+full pipeline runs on the 4-tier test app in a few seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.data_collection import (
+    BanditExplorer,
+    CollectionConfig,
+    DataCollector,
+)
+from repro.core.predictor import HybridPredictor, PredictorConfig
+from repro.core.qos import QoSTarget
+from repro.core.sinan import SinanManager
+from repro.harness.experiment import run_episode
+from repro.ml.cnn import CNNConfig
+from tests.conftest import make_tiny_cluster, make_tiny_graph
+
+QOS = QoSTarget(200.0)
+
+
+@pytest.fixture(scope="module")
+def sinan_manager():
+    graph = make_tiny_graph()
+    config = CollectionConfig(qos=QOS)
+    collector = DataCollector(
+        lambda users, seed: make_tiny_cluster(users, seed), config
+    )
+    dataset = collector.collect(
+        BanditExplorer(config, seed=0),
+        loads=[40, 120, 200, 300],
+        seconds_per_load=120,
+    ).dataset
+    predictor = HybridPredictor(
+        graph,
+        QOS,
+        PredictorConfig(
+            epochs=20,
+            batch_size=64,
+            cnn=CNNConfig(conv_channels=(4,), rh_embed=16, lh_embed=8,
+                          rc_embed=8, latent_dim=16),
+        ),
+        seed=0,
+    )
+    predictor.train(dataset)
+    # A model trained on minutes of data is noisier than the real
+    # pipeline's; the thresholds loosen accordingly.
+    from repro.core.scheduler import SchedulerConfig
+
+    return SinanManager(
+        predictor, QOS, graph,
+        scheduler_config=SchedulerConfig(p_down=0.08, p_up=0.25),
+    )
+
+
+class TestEndToEnd:
+    def test_sinan_manages_episode(self, sinan_manager):
+        cluster = make_tiny_cluster(users=120, seed=77)
+        result = run_episode(sinan_manager, cluster, 60, QOS, warmup=15)
+        # Sinan should keep the cluster mostly healthy on the app it was
+        # trained for, without pinning everything at max.
+        assert result.qos_fraction > 0.85
+        assert result.mean_total_cpu < 0.9 * cluster.max_alloc.sum()
+
+    def test_sinan_adapts_to_load(self, sinan_manager):
+        low = run_episode(
+            sinan_manager, make_tiny_cluster(users=40, seed=5), 60, QOS, warmup=15
+        )
+        high = run_episode(
+            sinan_manager, make_tiny_cluster(users=300, seed=5), 60, QOS, warmup=15
+        )
+        assert high.mean_total_cpu > low.mean_total_cpu
+
+    def test_prediction_trace_populated(self, sinan_manager):
+        cluster = make_tiny_cluster(users=100, seed=8)
+        run_episode(sinan_manager, cluster, 30, QOS, warmup=5)
+        trace = sinan_manager.prediction_trace
+        # The first decision has no telemetry yet (no record).
+        assert len(trace) == 29
+        measured = np.array([t["measured_ms"] for t in trace])
+        assert np.all(measured > 0)
+
+    def test_beats_undersized_static_on_qos(self, sinan_manager):
+        from repro.core.manager import StaticManager
+
+        cluster_a = make_tiny_cluster(users=300, seed=9)
+        starved = StaticManager(np.full(cluster_a.n_tiers, 0.3))
+        static_result = run_episode(starved, cluster_a, 50, QOS, warmup=10)
+        cluster_b = make_tiny_cluster(users=300, seed=9)
+        sinan_result = run_episode(sinan_manager, cluster_b, 50, QOS, warmup=10)
+        assert sinan_result.qos_fraction > static_result.qos_fraction
