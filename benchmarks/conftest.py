@@ -13,6 +13,9 @@ Environment knobs:
   (default 150 intervals).
 * ``REPRO_SEEDS`` — number of seeds averaged per experiment point
   (default 1).
+* ``REPRO_JOBS`` — worker processes for data-collection fan-out
+  (``0`` = one per CPU; unset/empty = serial).  The collected datasets
+  and trained models are identical either way.
 """
 
 from __future__ import annotations
@@ -36,6 +39,12 @@ def warmup_seconds() -> int:
     return min(40, episode_seconds() // 4)
 
 
+def n_jobs() -> int | None:
+    """Parallel fan-out from ``REPRO_JOBS`` (None = serial, 0 = all CPUs)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    return int(raw) if raw else None
+
+
 @pytest.fixture(scope="session")
 def budget():
     return resolve_budget(None)
@@ -43,12 +52,12 @@ def budget():
 
 @pytest.fixture(scope="session")
 def social_predictor(budget):
-    return get_trained_predictor("social_network", budget, seed=0)
+    return get_trained_predictor("social_network", budget, seed=0, jobs=n_jobs())
 
 
 @pytest.fixture(scope="session")
 def hotel_predictor(budget):
-    return get_trained_predictor("hotel_reservation", budget, seed=0)
+    return get_trained_predictor("hotel_reservation", budget, seed=0, jobs=n_jobs())
 
 
 def run_once(benchmark, fn):
@@ -71,7 +80,7 @@ def gce_predictor(social_predictor, budget):
 
     graph = social_network()
     new_data = collect_training_data(
-        graph, budget, seed=41, platform=GCE_PLATFORM
+        graph, budget, seed=41, platform=GCE_PLATFORM, jobs=n_jobs()
     )
     counts = [max(len(new_data) // 2, 10)]
     tuned, _ = fine_tune_predictor(

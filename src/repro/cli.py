@@ -11,7 +11,9 @@ Commands mirror the paper's workflow:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+import time
 
 import numpy as np
 
@@ -28,6 +30,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan episodes out over N worker processes "
+             "(0 = one per CPU; default: serial)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -37,8 +47,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="collect data and train the model")
     _add_common(train)
+    _add_jobs(train)
     train.add_argument("--no-cache", action="store_true",
-                       help="retrain even if a cached model exists")
+                       help="retrain even if a cached model exists "
+                            "(the fresh model still refreshes the cache)")
 
     run = sub.add_parser("run", help="run one manager/load episode")
     _add_common(run)
@@ -50,6 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="Figure 11 comparison sweep")
     _add_common(sweep)
+    _add_jobs(sweep)
     sweep.add_argument("--duration", type=int, default=150)
     sweep.add_argument(
         "--managers", default="sinan,autoscale-opt,autoscale-cons,powerchief"
@@ -80,8 +93,11 @@ def _make_manager(name: str, predictor, spec, graph):
 def cmd_train(args) -> int:
     from repro.harness.pipeline import get_trained_predictor
 
+    # --no-cache skips only the cache *read*: the model is retrained
+    # from scratch and the fresh result still refreshes the disk cache.
     predictor = get_trained_predictor(
-        args.app, args.budget, seed=args.seed, use_cache=not args.no_cache
+        args.app, args.budget, seed=args.seed,
+        read_cache=not args.no_cache, jobs=args.jobs,
     )
     report = predictor.report
     print(f"trained {args.app}: {report.n_train} train samples")
@@ -113,33 +129,73 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def _sweep_cell_episode(app, manager_name, users, seed, duration, predictor):
+    """One (manager, load) cell of the Figure 11 sweep — picklable worker."""
     from repro.harness.experiment import run_episode
-    from repro.harness.pipeline import app_spec, get_trained_predictor, make_cluster
+    from repro.harness.pipeline import app_spec, make_cluster
+
+    spec = app_spec(app)
+    graph = spec.graph_factory()
+    manager = _make_manager(manager_name, predictor, spec, graph)
+    cluster = make_cluster(graph, users, seed=seed)
+    return run_episode(manager, cluster, duration, spec.qos,
+                       warmup=min(30, duration // 4))
+
+
+def cmd_sweep(args) -> int:
+    from repro.harness.parallel import EpisodeTask, run_episodes
+    from repro.harness.pipeline import app_spec, get_trained_predictor
     from repro.harness.reporting import format_table
 
     spec = app_spec(args.app)
-    graph = spec.graph_factory()
     names = [n.strip() for n in args.managers.split(",") if n.strip()]
     predictor = None
     if "sinan" in names:
-        predictor = get_trained_predictor(args.app, args.budget, seed=args.seed)
+        predictor = get_trained_predictor(
+            args.app, args.budget, seed=args.seed, jobs=args.jobs
+        )
+
+    # The cluster seed depends only on the load, so every manager faces
+    # the same workload draw at each user count (a paired comparison).
+    tasks = []
+    for users in spec.fig11_loads:
+        for name in names:
+            tasks.append(EpisodeTask(
+                index=len(tasks),
+                label=f"{name}@{users:g}",
+                fn=_sweep_cell_episode,
+                kwargs=dict(
+                    app=args.app,
+                    manager_name=name,
+                    users=float(users),
+                    seed=args.seed * 997 + int(users),
+                    duration=args.duration,
+                    predictor=predictor if name == "sinan" else None,
+                ),
+            ))
+    start = time.perf_counter()
+    summary = run_episodes(tasks, jobs=args.jobs)
+    elapsed = time.perf_counter() - start
 
     rows = []
+    it = iter(summary.outcomes)
     for users in spec.fig11_loads:
         row = [f"{users:g}"]
-        for name in names:
-            manager = _make_manager(name, predictor, spec, graph)
-            cluster = make_cluster(graph, users, seed=args.seed * 997 + int(users))
-            result = run_episode(manager, cluster, args.duration, spec.qos,
-                                 warmup=min(30, args.duration // 4))
-            row.append(f"{result.mean_total_cpu:.0f}/{result.qos_fraction:.2f}")
+        for _name in names:
+            outcome = next(it)
+            if outcome.ok:
+                result = outcome.result
+                row.append(f"{result.mean_total_cpu:.0f}/{result.qos_fraction:.2f}")
+            else:
+                row.append("ERR")
         rows.append(row)
     print(format_table(
         ["Users"] + names, rows,
         title=f"{args.app}: mean CPU / P(meet QoS) per manager",
     ))
-    return 0
+    print(f"{len(tasks)} episodes in {elapsed:.1f}s "
+          f"(jobs={summary.jobs}, {len(summary.failures)} failed)")
+    return 1 if len(summary.failures) == len(tasks) else 0
 
 
 def cmd_explain(args) -> int:
@@ -175,6 +231,10 @@ def cmd_explain(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     np.set_printoptions(precision=3, suppress=True)
+    # Surface the harness's per-episode progress/timing lines on stderr.
+    logging.basicConfig(
+        stream=sys.stderr, level=logging.INFO, format="%(message)s"
+    )
     handlers = {
         "train": cmd_train,
         "run": cmd_run,

@@ -23,6 +23,7 @@ from repro.core.manager import Manager, StaticManager
 from repro.core.sinan import SinanManager
 from repro.core.data_collection import (
     BanditExplorer,
+    BanditPolicyFactory,
     AutoscaleCollectPolicy,
     RandomCollectPolicy,
     DataCollector,
@@ -53,6 +54,7 @@ __all__ = [
     "StaticManager",
     "SinanManager",
     "BanditExplorer",
+    "BanditPolicyFactory",
     "AutoscaleCollectPolicy",
     "RandomCollectPolicy",
     "DataCollector",

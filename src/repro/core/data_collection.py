@@ -258,6 +258,54 @@ class AutoscaleCollectPolicy:
         return
 
 
+@dataclass(frozen=True)
+class BanditPolicyFactory:
+    """Builds a fresh :class:`BanditExplorer` per episode seed.
+
+    Episodes handed to parallel workers must not share bandit state, so
+    the collector takes a picklable factory rather than one policy
+    instance; this mirrors the paper's collection across a 4-node
+    cluster, where each node explores independently.
+    """
+
+    config: CollectionConfig
+
+    def __call__(self, seed: int) -> BanditExplorer:
+        return BanditExplorer(self.config, seed=seed)
+
+
+def _collect_episode(
+    cluster_factory: Callable[[float, int], ClusterSimulator],
+    policy_factory: Callable[[int], CollectPolicy],
+    config: CollectionConfig,
+    users: float,
+    seconds_per_load: int,
+    seed: int,
+) -> tuple[SinanDataset, TelemetryLog]:
+    """Run one independent collection episode (one load level).
+
+    Module-level and driven purely by its arguments so the parallel
+    harness can ship it to worker processes; the serial path runs the
+    same function inline, which is what makes ``jobs=1`` and ``jobs=N``
+    bit-identical for a given seed.
+    """
+    policy = policy_factory(seed)
+    cluster = cluster_factory(users, seed)
+    for _ in range(seconds_per_load):
+        alloc = policy.decide(cluster)
+        stats = cluster.step(alloc)
+        policy.observe(config.qos.latency_of(stats) <= config.qos.latency_ms)
+    dataset = build_dataset(
+        cluster.telemetry,
+        cluster.graph,
+        config.qos,
+        n_timesteps=config.n_timesteps,
+        horizon=config.horizon,
+        meta={"policy": policy.name, "users": users},
+    )
+    return dataset, cluster.telemetry
+
+
 @dataclass
 class CollectionResult:
     dataset: SinanDataset
@@ -286,45 +334,104 @@ class DataCollector:
 
     def collect(
         self,
-        policy,
-        loads: list[float],
+        policy=None,
+        loads: list[float] = (),
         seconds_per_load: int = 120,
         seed: int = 0,
+        *,
+        policy_factory: Callable[[int], CollectPolicy] | None = None,
+        jobs: int | None = None,
+        progress=None,
     ) -> CollectionResult:
         """Collect ``seconds_per_load`` intervals at each load level.
 
         Each load level is a fresh episode (drained queues), mirroring
         the paper's multi-hour collection across request rates; the
         per-episode logs are converted into aligned samples and
-        concatenated.
+        concatenated in load order.
+
+        Exactly one of ``policy`` and ``policy_factory`` must be given:
+
+        * ``policy`` — one shared, stateful policy instance stepped
+          through all load levels in order (the legacy serial protocol;
+          bandit statistics carry across loads).  Incompatible with
+          ``jobs > 1``, since fanned-out episodes cannot share state.
+        * ``policy_factory`` — ``seed -> policy``; episode *i* gets an
+          independent policy seeded ``seed + i``.  Episodes are then
+          fully independent and can run on ``jobs`` worker processes,
+          producing a dataset bit-identical to the serial run.
+
+        Episodes that fail are retried once with a bumped seed; episodes
+        that fail twice are dropped from the dataset with a warning (the
+        run only raises if *every* episode failed).
         """
+        from repro.harness.parallel import (  # runtime import: avoids core->harness cycle
+            EpisodeTask,
+            resolve_jobs,
+            run_episodes,
+        )
+
         cfg = self.config
-        datasets: list[SinanDataset] = []
-        logs: list[TelemetryLog] = []
-        for i, users in enumerate(loads):
-            cluster = self.cluster_factory(users, seed + i)
-            for _ in range(seconds_per_load):
-                alloc = policy.decide(cluster)
-                stats = cluster.step(alloc)
-                policy.observe(cfg.qos.latency_of(stats) <= cfg.qos.latency_ms)
-            datasets.append(
-                build_dataset(
-                    cluster.telemetry,
-                    cluster.graph,
-                    cfg.qos,
-                    n_timesteps=cfg.n_timesteps,
-                    horizon=cfg.horizon,
-                    meta={"policy": policy.name, "users": users},
+        if (policy is None) == (policy_factory is None):
+            raise ValueError("pass exactly one of policy= and policy_factory=")
+
+        if policy is not None:
+            if resolve_jobs(jobs) > 1:
+                raise ValueError(
+                    "a shared policy instance cannot be fanned out across "
+                    "worker processes; pass policy_factory= instead"
                 )
+            datasets: list[SinanDataset] = []
+            logs: list[TelemetryLog] = []
+            for i, users in enumerate(loads):
+                cluster = self.cluster_factory(users, seed + i)
+                for _ in range(seconds_per_load):
+                    alloc = policy.decide(cluster)
+                    stats = cluster.step(alloc)
+                    policy.observe(cfg.qos.latency_of(stats) <= cfg.qos.latency_ms)
+                datasets.append(
+                    build_dataset(
+                        cluster.telemetry,
+                        cluster.graph,
+                        cfg.qos,
+                        n_timesteps=cfg.n_timesteps,
+                        horizon=cfg.horizon,
+                        meta={"policy": policy.name, "users": users},
+                    )
+                )
+                logs.append(cluster.telemetry)
+            return CollectionResult(SinanDataset.concatenate(datasets), logs)
+
+        tasks = [
+            EpisodeTask(
+                index=i,
+                label=f"collect[users={users:g}]",
+                fn=_collect_episode,
+                kwargs=dict(
+                    cluster_factory=self.cluster_factory,
+                    policy_factory=policy_factory,
+                    config=cfg,
+                    users=users,
+                    seconds_per_load=seconds_per_load,
+                    seed=seed + i,
+                ),
             )
-            logs.append(cluster.telemetry)
-        return CollectionResult(SinanDataset.concatenate(datasets), logs)
+            for i, users in enumerate(loads)
+        ]
+        summary = run_episodes(tasks, jobs=jobs, progress=progress)
+        summary.raise_if_no_results()
+        pairs = summary.results
+        return CollectionResult(
+            SinanDataset.concatenate([ds for ds, _ in pairs]),
+            [log for _, log in pairs],
+        )
 
 
 __all__ = [
     "CollectionConfig",
     "CollectPolicy",
     "BanditExplorer",
+    "BanditPolicyFactory",
     "RandomCollectPolicy",
     "AutoscaleCollectPolicy",
     "DataCollector",

@@ -2,6 +2,13 @@
 report formatting used by the benchmark suite."""
 
 from repro.harness.experiment import EpisodeResult, run_episode, sweep_loads
+from repro.harness.parallel import (
+    EpisodeOutcome,
+    EpisodeTask,
+    RunSummary,
+    resolve_jobs,
+    run_episodes,
+)
 from repro.harness.pipeline import (
     AppSpec,
     Budget,
@@ -19,6 +26,11 @@ __all__ = [
     "EpisodeResult",
     "run_episode",
     "sweep_loads",
+    "EpisodeOutcome",
+    "EpisodeTask",
+    "RunSummary",
+    "resolve_jobs",
+    "run_episodes",
     "AppSpec",
     "Budget",
     "BUDGETS",

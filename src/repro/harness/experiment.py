@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.manager import Manager
 from repro.core.qos import QoSTarget
+from repro.harness.parallel import EpisodeTask, run_episodes
 from repro.sim.cluster import ClusterSimulator
 from repro.sim.telemetry import TelemetryLog
 
@@ -79,6 +80,21 @@ def run_episode(
     )
 
 
+def _sweep_episode(
+    manager_factory: Callable[[], Manager],
+    cluster_factory: Callable[[float, int], ClusterSimulator],
+    users: float,
+    seed: int,
+    duration: int,
+    qos: QoSTarget,
+    warmup: int,
+) -> EpisodeResult:
+    """One (fresh manager, fresh cluster) episode — picklable worker."""
+    manager = manager_factory()
+    cluster = cluster_factory(users, seed)
+    return run_episode(manager, cluster, duration, qos, warmup)
+
+
 def sweep_loads(
     manager_factory: Callable[[], Manager],
     cluster_factory: Callable[[float, int], ClusterSimulator],
@@ -87,19 +103,38 @@ def sweep_loads(
     qos: QoSTarget,
     seed: int = 0,
     warmup: int = 10,
+    jobs: int | None = None,
+    progress=None,
 ) -> list[EpisodeResult]:
     """Run one episode per load level with fresh manager and cluster.
 
     This is the paper's Figure 11 protocol: for each user count, an
     independent experiment measuring mean/max CPU allocation and the
-    probability of meeting QoS.
+    probability of meeting QoS.  With ``jobs`` set, episodes fan out
+    over worker processes (both factories must then be picklable —
+    module-level callables, not lambdas); results always come back in
+    load order and are identical to the serial run.
     """
-    results = []
-    for i, users in enumerate(loads):
-        manager = manager_factory()
-        cluster = cluster_factory(users, seed + i)
-        results.append(run_episode(manager, cluster, duration, qos, warmup))
-    return results
+    tasks = [
+        EpisodeTask(
+            index=i,
+            label=f"sweep[users={users:g}]",
+            fn=_sweep_episode,
+            kwargs=dict(
+                manager_factory=manager_factory,
+                cluster_factory=cluster_factory,
+                users=users,
+                seed=seed + i,
+                duration=duration,
+                qos=qos,
+                warmup=warmup,
+            ),
+        )
+        for i, users in enumerate(loads)
+    ]
+    summary = run_episodes(tasks, jobs=jobs, progress=progress)
+    summary.raise_if_no_results()
+    return summary.results
 
 
 __all__ = ["EpisodeResult", "run_episode", "sweep_loads"]

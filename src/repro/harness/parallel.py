@@ -1,0 +1,262 @@
+"""Parallel episode harness: fan independent simulations over processes.
+
+Data collection and the Figure-11 sweeps dominate the wall-clock cost of
+every benchmark run, yet each of their episodes is an independent,
+seeded simulation — the same embarrassingly-parallel structure the paper
+exploits by spreading collection across a 4-node cluster (Section 4.2).
+This module provides the one fan-out primitive the rest of the harness
+shares:
+
+* :func:`run_episodes` executes a list of :class:`EpisodeTask` either
+  inline (``jobs=1``, the default) or on a ``ProcessPoolExecutor``.
+  Both paths run the *same* per-episode worker function with the same
+  per-episode seeds, so results are bit-identical regardless of worker
+  count; outcomes are always returned in task order.
+* A failed episode is retried once with its seed bumped by
+  :data:`RETRY_SEED_BUMP` (a deterministic simulation that crashed will
+  crash again under the same seed).  Failures that survive the retry are
+  recorded on the :class:`RunSummary` instead of killing the whole run.
+* Per-episode progress/timing lines are emitted through the
+  ``repro.harness.parallel`` logger (the CLI enables INFO logging) or a
+  caller-supplied ``progress`` callback.
+
+Workers are separate processes, so task functions and their keyword
+arguments must be picklable: module-level functions and dataclasses,
+not closures.  The serial path has no such requirement, which keeps
+lambda-based factories in tests and notebooks working unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+logger = logging.getLogger(__name__)
+
+#: Seed increment applied when an episode is retried after a failure.
+#: Large and prime, so bumped seeds never collide with the sequential
+#: per-episode seeds (``seed + i``) of the original schedule.
+RETRY_SEED_BUMP = 1_000_003
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve a ``--jobs`` value to a concrete worker count.
+
+    ``None`` means serial (1 worker, run inline), ``0`` means one worker
+    per available CPU, any positive value is taken literally.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+@dataclass(frozen=True)
+class EpisodeTask:
+    """One independent episode: a picklable function plus its kwargs.
+
+    ``kwargs`` should carry the episode's ``seed`` under the key named
+    by ``seed_key`` so the retry path can deterministically re-seed it.
+    """
+
+    index: int
+    label: str
+    fn: Callable[..., Any]
+    kwargs: dict
+    seed_key: str = "seed"
+
+
+@dataclass
+class EpisodeOutcome:
+    """Result (or failure) of one episode, with timing and attempts."""
+
+    index: int
+    label: str
+    result: Any = None
+    error: str | None = None
+    attempts: int = 1
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the episode produced a result."""
+        return self.error is None
+
+
+@dataclass
+class RunSummary:
+    """Outcome of a :func:`run_episodes` call, in task-index order."""
+
+    outcomes: list[EpisodeOutcome] = field(default_factory=list)
+    jobs: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def failures(self) -> list[EpisodeOutcome]:
+        """Episodes that still failed after the retry."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def results(self) -> list[Any]:
+        """Successful episode results, in task order."""
+        return [o.result for o in self.outcomes if o.ok]
+
+    def format(self) -> str:
+        """One-line human summary (episodes, failures, timing)."""
+        n_retried = sum(1 for o in self.outcomes if o.attempts > 1)
+        parts = [
+            f"{len(self.outcomes)} episodes in {self.wall_seconds:.1f}s",
+            f"jobs={self.jobs}",
+        ]
+        if n_retried:
+            parts.append(f"{n_retried} retried")
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
+        return ", ".join(parts)
+
+    def raise_if_no_results(self) -> None:
+        """Fail loudly when every episode died (partial runs proceed)."""
+        if self.outcomes and not self.results:
+            errors = "; ".join(
+                f"{o.label}: {o.error}" for o in self.failures[:5]
+            )
+            raise RuntimeError(f"all {len(self.outcomes)} episodes failed: {errors}")
+
+
+def _run_task(task: EpisodeTask, retries: int = 1) -> EpisodeOutcome:
+    """Execute one task, retrying with a bumped seed on failure.
+
+    Module-level so the process pool can pickle it; also used verbatim
+    by the serial path so both produce identical results.
+    """
+    kwargs = dict(task.kwargs)
+    start = time.perf_counter()
+    for attempt in range(1, retries + 2):
+        try:
+            result = task.fn(**kwargs)
+            return EpisodeOutcome(
+                index=task.index,
+                label=task.label,
+                result=result,
+                attempts=attempt,
+                seconds=time.perf_counter() - start,
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced in the summary
+            error = f"{type(exc).__name__}: {exc}"
+            if attempt > retries:
+                return EpisodeOutcome(
+                    index=task.index,
+                    label=task.label,
+                    error=error,
+                    attempts=attempt,
+                    seconds=time.perf_counter() - start,
+                )
+            if task.seed_key in kwargs:
+                kwargs[task.seed_key] = kwargs[task.seed_key] + RETRY_SEED_BUMP
+            logger.warning(
+                "episode %s failed (%s); retrying with bumped seed", task.label, error
+            )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _log_progress(outcome: EpisodeOutcome, done: int, total: int) -> None:
+    status = "ok" if outcome.ok else f"FAILED ({outcome.error})"
+    retry = f", attempt {outcome.attempts}" if outcome.attempts > 1 else ""
+    logger.info(
+        "[%d/%d] %s %s in %.1fs%s", done, total, outcome.label, status,
+        outcome.seconds, retry,
+    )
+
+
+def _mp_context() -> mp.context.BaseContext:
+    """Pick a start method: env override, else fork (cheap) if available."""
+    method = os.environ.get("REPRO_MP_START")
+    if method:
+        return mp.get_context(method)
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def run_episodes(
+    tasks: list[EpisodeTask],
+    jobs: int | None = None,
+    retries: int = 1,
+    progress: Callable[[EpisodeOutcome, int, int], None] | None = None,
+) -> RunSummary:
+    """Run independent episode tasks, serially or on a process pool.
+
+    Parameters
+    ----------
+    tasks:
+        Episodes to run.  Results come back in ``task.index`` order no
+        matter the completion order.
+    jobs:
+        Worker processes (see :func:`resolve_jobs`).  ``jobs=1`` runs
+        everything inline in this process — same code path as the
+        workers, so results match bit-for-bit.
+    retries:
+        How many times a failing episode is re-attempted (with its seed
+        bumped by :data:`RETRY_SEED_BUMP`).
+    progress:
+        Callback ``(outcome, n_done, n_total)`` fired as each episode
+        finishes; defaults to an INFO log line per episode.
+    """
+    n_jobs = resolve_jobs(jobs)
+    n_jobs = max(1, min(n_jobs, len(tasks)))
+    progress = progress or _log_progress
+    start = time.perf_counter()
+    outcomes: list[EpisodeOutcome] = []
+
+    if n_jobs == 1:
+        for done, task in enumerate(tasks, start=1):
+            outcome = _run_task(task, retries=retries)
+            outcomes.append(outcome)
+            progress(outcome, done, len(tasks))
+    else:
+        with ProcessPoolExecutor(
+            max_workers=n_jobs, mp_context=_mp_context()
+        ) as pool:
+            futures = {
+                pool.submit(_run_task, task, retries): task for task in tasks
+            }
+            done = 0
+            for future in as_completed(futures):
+                task = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # pool/pickling failure
+                    outcome = EpisodeOutcome(
+                        index=task.index,
+                        label=task.label,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=1,
+                    )
+                outcomes.append(outcome)
+                done += 1
+                progress(outcome, done, len(tasks))
+        outcomes.sort(key=lambda o: o.index)
+
+    summary = RunSummary(
+        outcomes=outcomes, jobs=n_jobs, wall_seconds=time.perf_counter() - start
+    )
+    logger.info("%s", summary.format())
+    return summary
+
+
+__all__ = [
+    "RETRY_SEED_BUMP",
+    "EpisodeTask",
+    "EpisodeOutcome",
+    "RunSummary",
+    "resolve_jobs",
+    "run_episodes",
+]

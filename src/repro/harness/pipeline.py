@@ -5,8 +5,21 @@ The paper's workflow (Appendix A.5) is: generate training data with the
 bandit explorer, train the hybrid model, then deploy the inference
 engine against the cluster.  ``build_sinan_pipeline`` performs all three
 steps; ``get_trained_predictor`` memoizes the expensive middle step both
-in-process and on disk (``.cache/``), so the benchmark suite trains each
-application's model once and reuses it across figures.
+in-process and on disk (``.cache/``, overridable via the
+``REPRO_CACHE_DIR`` environment variable), so the benchmark suite trains
+each application's model once and reuses it across figures.
+
+The disk cache is concurrency- and crash-safe: entries are written to a
+temp file and published with an atomic ``os.replace``, cross-process
+races on a cold cache are serialized by an exclusive ``.lock`` file (the
+second process waits, then loads the winner's model instead of training
+twice), and a truncated or otherwise unreadable entry is treated as a
+miss — logged, deleted, and retrained — never as a crash.
+
+Collection fans out per-load episodes over worker processes when
+``jobs`` is given (see :mod:`repro.harness.parallel`); the dataset is
+bit-identical to the serial run for a given seed regardless of worker
+count, because every episode is independently seeded ``seed + i``.
 
 Budgets scale the pipeline: ``small`` for unit tests, ``medium`` for the
 benchmark suite, ``large`` for higher-fidelity runs approaching the
@@ -16,6 +29,8 @@ overrides the default budget used by the benchmarks.
 
 from __future__ import annotations
 
+import contextlib
+import logging
 import os
 import pickle
 from dataclasses import dataclass, field
@@ -24,6 +39,11 @@ from typing import Callable
 
 import numpy as np
 
+try:  # POSIX-only; the lock degrades to a no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 from repro.apps import (
     HOTEL_QOS_MS,
     SOCIAL_QOS_MS,
@@ -31,13 +51,14 @@ from repro.apps import (
     social_network,
 )
 from repro.core.data_collection import (
-    BanditExplorer,
+    BanditPolicyFactory,
     CollectionConfig,
     DataCollector,
 )
 from repro.core.predictor import HybridPredictor, PredictorConfig
 from repro.core.qos import QoSTarget
 from repro.core.sinan import SinanManager
+from repro.harness.parallel import EpisodeTask, run_episodes
 from repro.ml.dataset import SinanDataset
 from repro.sim.behaviors import Behavior
 from repro.sim.cluster import (
@@ -50,7 +71,12 @@ from repro.workload.generator import RequestMix, Workload
 from repro.workload.mixes import hotel_mix, social_mix
 from repro.workload.patterns import ConstantLoad, LoadPattern
 
-_CACHE_VERSION = 5
+logger = logging.getLogger(__name__)
+
+# v6: collection episodes are independently seeded (seed + i) per load
+# level so serial and parallel collection are bit-identical; previously
+# one bandit instance carried state across load levels.
+_CACHE_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -172,6 +198,20 @@ def collection_loads(spec: AppSpec, budget: Budget) -> list[float]:
     return list(np.linspace(low, high, budget.collection_loads))
 
 
+@dataclass(frozen=True)
+class _EpisodeClusterFactory:
+    """Picklable ``(users, seed) -> ClusterSimulator`` for worker processes."""
+
+    graph: AppGraph
+    platform: PlatformSpec
+    mix: RequestMix | None = None
+
+    def __call__(self, users: float, seed: int) -> ClusterSimulator:
+        return make_cluster(
+            self.graph, users, seed, mix=self.mix, platform=self.platform
+        )
+
+
 def collect_training_data(
     graph: AppGraph,
     budget: str | Budget | None = None,
@@ -179,22 +219,42 @@ def collect_training_data(
     platform: PlatformSpec = LOCAL_PLATFORM,
     mix: RequestMix | None = None,
     policy=None,
+    jobs: int | None = None,
+    progress=None,
 ) -> SinanDataset:
-    """Collect a bandit-explored training dataset for ``graph``."""
+    """Collect a bandit-explored training dataset for ``graph``.
+
+    Each load level is an independent episode seeded ``seed + i``; with
+    ``jobs`` set, episodes fan out over worker processes (``0`` = all
+    cores) and the concatenated dataset is bit-identical to the serial
+    run.  Passing an explicit ``policy`` instance keeps the legacy
+    shared-state serial protocol (used by the Figure 10 studies) and is
+    incompatible with ``jobs > 1``.
+    """
     spec = app_spec(graph)
     budget = resolve_budget(budget)
     config = CollectionConfig(qos=spec.qos)
-    policy = policy or BanditExplorer(config, seed=seed)
+    if not isinstance(graph, AppGraph):
+        graph = spec.graph_factory()
     collector = DataCollector(
-        lambda users, s: make_cluster(graph, users, s, mix=mix, platform=platform),
+        _EpisodeClusterFactory(graph, platform, mix),
         config,
     )
-    result = collector.collect(
-        policy,
-        collection_loads(spec, budget),
-        seconds_per_load=budget.seconds_per_load,
-        seed=seed,
-    )
+    loads = collection_loads(spec, budget)
+    if policy is not None:
+        result = collector.collect(
+            policy, loads, seconds_per_load=budget.seconds_per_load,
+            seed=seed, jobs=jobs, progress=progress,
+        )
+    else:
+        result = collector.collect(
+            loads=loads,
+            seconds_per_load=budget.seconds_per_load,
+            seed=seed,
+            policy_factory=BanditPolicyFactory(config),
+            jobs=jobs,
+            progress=progress,
+        )
     return result.dataset
 
 
@@ -208,32 +268,79 @@ def _cache_dir() -> Path:
 _memory_cache: dict[tuple, HybridPredictor] = {}
 
 
-def get_trained_predictor(
-    app: str | AppGraph,
-    budget: str | Budget | None = None,
-    seed: int = 0,
-    use_cache: bool = True,
-) -> HybridPredictor:
-    """Train (or load from cache) the hybrid predictor for an app.
+def _load_cache_entry(cache_file: Path) -> HybridPredictor | None:
+    """Load a cached predictor; any unreadable entry is a cache miss.
 
-    Caching is keyed on (app, budget, seed, cache version); delete the
-    ``.cache`` directory to force retraining.
+    A crash or power loss mid-write (pre-atomic-write caches), a partial
+    copy, or a version skew must never wedge the pipeline: the corrupt
+    entry is logged, removed, and the caller retrains.
     """
-    spec = app_spec(app)
-    budget = resolve_budget(budget)
-    key = (spec.name, budget.name, seed, _CACHE_VERSION)
-    if use_cache and key in _memory_cache:
-        return _memory_cache[key]
-
-    cache_file = _cache_dir() / f"predictor-{spec.name}-{budget.name}-s{seed}-v{_CACHE_VERSION}.pkl"
-    if use_cache and cache_file.exists():
+    try:
         with open(cache_file, "rb") as fh:
-            predictor = pickle.load(fh)
-        _memory_cache[key] = predictor
-        return predictor
+            return pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception as exc:  # truncated pickle, version skew, EIO, ...
+        logger.warning(
+            "corrupt predictor cache %s (%s: %s); retraining",
+            cache_file, type(exc).__name__, exc,
+        )
+        with contextlib.suppress(OSError):
+            cache_file.unlink()
+        return None
 
+
+def _store_cache_entry(cache_file: Path, predictor: HybridPredictor) -> None:
+    """Atomically publish a cache entry (temp file + ``os.replace``).
+
+    Readers either see the complete old entry or the complete new one —
+    never a truncated pickle — even across a crash or a concurrent
+    writer.
+    """
+    tmp = cache_file.with_name(f"{cache_file.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump(predictor, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, cache_file)
+    finally:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+
+
+@contextlib.contextmanager
+def _cache_lock(cache_file: Path):
+    """Exclusive cross-process lock for one cache entry.
+
+    Serializes train-and-write on a cold cache: the losing process
+    blocks until the winner publishes its entry, then loads it instead
+    of training the same model twice.  No-op where ``fcntl`` is missing.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    lock_file = cache_file.with_name(cache_file.name + ".lock")
+    with open(lock_file, "a+") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
+def _train_predictor(
+    spec: AppSpec,
+    budget: Budget,
+    seed: int,
+    jobs: int | None = None,
+    progress=None,
+) -> HybridPredictor:
+    """The uncached train path: collect, fit, on-policy refine."""
     graph = spec.graph_factory()
-    dataset = collect_training_data(graph, budget, seed=seed)
+    dataset = collect_training_data(
+        graph, budget, seed=seed, jobs=jobs, progress=progress
+    )
     predictor = HybridPredictor(
         graph,
         spec.qos,
@@ -246,16 +353,87 @@ def get_trained_predictor(
     # on the union (the paper's periodic background retraining).
     for round_idx in range(budget.refine_rounds):
         on_policy = _collect_on_policy(
-            predictor, spec, graph, budget, seed=seed + 101 + round_idx
+            predictor, spec, graph, budget, seed=seed + 101 + round_idx,
+            jobs=jobs, progress=progress,
         )
         dataset = SinanDataset.concatenate([dataset, on_policy])
         predictor.train(dataset, seed=seed + 7 + round_idx)
+    return predictor
 
-    if use_cache:
-        with open(cache_file, "wb") as fh:
-            pickle.dump(predictor, fh)
+
+def get_trained_predictor(
+    app: str | AppGraph,
+    budget: str | Budget | None = None,
+    seed: int = 0,
+    use_cache: bool = True,
+    *,
+    read_cache: bool | None = None,
+    write_cache: bool | None = None,
+    jobs: int | None = None,
+    progress=None,
+) -> HybridPredictor:
+    """Train (or load from cache) the hybrid predictor for an app.
+
+    Caching is keyed on (app, budget, seed, cache version); delete the
+    ``.cache`` directory (or set ``REPRO_CACHE_DIR``) to force
+    retraining.  ``read_cache`` / ``write_cache`` refine ``use_cache``:
+    ``read_cache=False`` alone retrains and then *refreshes* the cache
+    (the CLI's ``--no-cache``), while ``use_cache=False`` skips the
+    cache entirely.  Disk entries are written atomically and guarded by
+    a per-entry lock, so concurrent callers racing on a cold cache train
+    once and share the result; a corrupt entry is treated as a miss.
+
+    ``jobs`` fans the underlying collection episodes out over worker
+    processes (``0`` = all cores) without changing the trained model.
+    """
+    read = use_cache if read_cache is None else read_cache
+    write = use_cache if write_cache is None else write_cache
+    spec = app_spec(app)
+    budget = resolve_budget(budget)
+    key = (spec.name, budget.name, seed, _CACHE_VERSION)
+    if read and key in _memory_cache:
+        return _memory_cache[key]
+
+    if not (read or write):
+        return _train_predictor(spec, budget, seed, jobs=jobs, progress=progress)
+
+    cache_file = _cache_dir() / f"predictor-{spec.name}-{budget.name}-s{seed}-v{_CACHE_VERSION}.pkl"
+    with _cache_lock(cache_file):
+        if read:
+            predictor = _load_cache_entry(cache_file)
+            if predictor is not None:
+                _memory_cache[key] = predictor
+                return predictor
+        predictor = _train_predictor(spec, budget, seed, jobs=jobs, progress=progress)
+        if write:
+            _store_cache_entry(cache_file, predictor)
         _memory_cache[key] = predictor
     return predictor
+
+
+def _on_policy_episode(
+    predictor: HybridPredictor,
+    graph: AppGraph,
+    qos: QoSTarget,
+    users: float,
+    seconds: int,
+    seed: int,
+) -> SinanDataset:
+    """One episode managed by the trained Sinan (picklable worker)."""
+    from repro.core.features import build_dataset
+
+    manager = SinanManager(predictor, qos, graph)
+    cluster = make_cluster(graph, users, seed=seed)
+    for _ in range(seconds):
+        cluster.step(manager.decide(cluster.telemetry))
+    return build_dataset(
+        cluster.telemetry,
+        graph,
+        qos,
+        n_timesteps=predictor.config.n_timesteps,
+        horizon=predictor.config.horizon,
+        meta={"policy": "sinan-on-policy", "users": users},
+    )
 
 
 def _collect_on_policy(
@@ -264,29 +442,30 @@ def _collect_on_policy(
     graph: AppGraph,
     budget: Budget,
     seed: int,
+    jobs: int | None = None,
+    progress=None,
 ) -> SinanDataset:
     """Record episodes managed by the trained Sinan across load levels."""
-    from repro.core.features import build_dataset
-    from repro.core.sinan import SinanManager
-
-    datasets = []
     seconds = max(budget.seconds_per_load // 2, 30)
-    for i, users in enumerate(collection_loads(spec, budget)):
-        manager = SinanManager(predictor, spec.qos, graph)
-        cluster = make_cluster(graph, users, seed=seed + i)
-        for _ in range(seconds):
-            cluster.step(manager.decide(cluster.telemetry))
-        datasets.append(
-            build_dataset(
-                cluster.telemetry,
-                graph,
-                spec.qos,
-                n_timesteps=predictor.config.n_timesteps,
-                horizon=predictor.config.horizon,
-                meta={"policy": "sinan-on-policy", "users": users},
-            )
+    tasks = [
+        EpisodeTask(
+            index=i,
+            label=f"on-policy[users={users:g}]",
+            fn=_on_policy_episode,
+            kwargs=dict(
+                predictor=predictor,
+                graph=graph,
+                qos=spec.qos,
+                users=users,
+                seconds=seconds,
+                seed=seed + i,
+            ),
         )
-    return SinanDataset.concatenate(datasets)
+        for i, users in enumerate(collection_loads(spec, budget))
+    ]
+    summary = run_episodes(tasks, jobs=jobs, progress=progress)
+    summary.raise_if_no_results()
+    return SinanDataset.concatenate(summary.results)
 
 
 def build_sinan_pipeline(

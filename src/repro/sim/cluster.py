@@ -110,6 +110,7 @@ class ClusterSimulator:
             # collapse at high load before the manager has reacted.
             initial_alloc = self._max_alloc * 0.6
         self.current_alloc = self.clip_alloc(np.asarray(initial_alloc, dtype=float))
+        self._initial_alloc = self.current_alloc.copy()
 
     def _replica_vec(self) -> np.ndarray:
         return np.array([float(t.replicas) for t in self.graph.tiers])
@@ -182,9 +183,12 @@ class ClusterSimulator:
         return self.telemetry
 
     def reset(self, seed: int | None = None) -> None:
-        """Start a fresh episode (drained queues, empty telemetry)."""
+        """Start a fresh episode (drained queues, empty telemetry, and
+        the deploy-time allocation — not whatever the previous episode's
+        manager last set)."""
         self.engine.reset(seed)
         self.telemetry = TelemetryLog()
+        self.current_alloc = self._initial_alloc.copy()
 
 
 def workload_rebind(workload: Workload, graph: AppGraph) -> Workload:

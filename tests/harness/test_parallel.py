@@ -1,0 +1,112 @@
+"""Parallel episode harness tests: ordering, determinism, retry."""
+
+import os
+
+import pytest
+
+from repro.harness.parallel import (
+    RETRY_SEED_BUMP,
+    EpisodeTask,
+    RunSummary,
+    resolve_jobs,
+    run_episodes,
+)
+
+
+# Worker functions must be module-level so the process pool can pickle
+# them by reference.
+
+def _square(seed: int, base: int = 0) -> int:
+    return base + seed * seed
+
+
+def _fails_below_bump(seed: int) -> int:
+    """Deterministic failure for the original seed; the retried (bumped)
+    seed succeeds — the harness's crashed-simulation recovery story."""
+    if seed < RETRY_SEED_BUMP:
+        raise RuntimeError(f"bad seed {seed}")
+    return seed
+
+
+def _always_fails(seed: int) -> int:
+    raise ValueError("doomed")
+
+
+def _tasks(fn, n=6):
+    return [
+        EpisodeTask(index=i, label=f"ep{i}", fn=fn, kwargs={"seed": i})
+        for i in range(n)
+    ]
+
+
+class TestResolveJobs:
+    def test_none_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_is_cpu_count(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_positive_literal(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-1)
+
+
+class TestRunEpisodes:
+    def test_serial_results_in_order(self):
+        summary = run_episodes(_tasks(_square))
+        assert summary.jobs == 1
+        assert summary.results == [i * i for i in range(6)]
+        assert not summary.failures
+
+    def test_parallel_matches_serial(self):
+        serial = run_episodes(_tasks(_square), jobs=1)
+        parallel = run_episodes(_tasks(_square), jobs=2)
+        assert parallel.jobs == 2
+        assert parallel.results == serial.results
+        assert [o.index for o in parallel.outcomes] == list(range(6))
+
+    def test_jobs_clamped_to_task_count(self):
+        summary = run_episodes(_tasks(_square, n=2), jobs=16)
+        assert summary.jobs == 2
+
+    def test_retry_bumps_seed_and_recovers(self):
+        summary = run_episodes(_tasks(_fails_below_bump, n=3))
+        assert not summary.failures
+        assert [o.attempts for o in summary.outcomes] == [2, 2, 2]
+        assert summary.results == [RETRY_SEED_BUMP + i for i in range(3)]
+
+    def test_permanent_failure_surfaced_not_raised(self):
+        summary = run_episodes(_tasks(_always_fails, n=3), jobs=2)
+        assert len(summary.failures) == 3
+        assert all("ValueError: doomed" in o.error for o in summary.failures)
+        assert summary.results == []
+        with pytest.raises(RuntimeError, match="all 3 episodes failed"):
+            summary.raise_if_no_results()
+
+    def test_partial_failure_keeps_survivors(self):
+        tasks = _tasks(_square, n=2) + [
+            EpisodeTask(index=2, label="bad", fn=_always_fails, kwargs={"seed": 2})
+        ]
+        summary = run_episodes(tasks)
+        assert summary.results == [0, 1]
+        assert len(summary.failures) == 1
+        summary.raise_if_no_results()  # survivors present: no raise
+
+    def test_progress_callback_sees_every_episode(self):
+        seen = []
+        run_episodes(
+            _tasks(_square, n=4),
+            progress=lambda outcome, done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_summary_format_mentions_failures(self):
+        summary = run_episodes(_tasks(_always_fails, n=2))
+        text = summary.format()
+        assert "2 episodes" in text and "FAILED" in text
+
+    def test_empty_summary(self):
+        RunSummary().raise_if_no_results()  # no episodes: nothing to raise

@@ -50,6 +50,27 @@ class TestStep:
         assert len(tiny_cluster.telemetry) == 0
         assert tiny_cluster.time == 0.0
 
+    def test_reset_restores_initial_alloc(self, tiny_cluster):
+        """Regression: back-to-back episodes used to start from whatever
+        the previous manager last set, not the deploy-time allocation."""
+        initial = tiny_cluster.current_alloc.copy()
+        tiny_cluster.step(np.full(tiny_cluster.n_tiers, 1.0))
+        assert not np.allclose(tiny_cluster.current_alloc, initial)
+        tiny_cluster.reset()
+        np.testing.assert_allclose(tiny_cluster.current_alloc, initial)
+
+    def test_reset_restores_explicit_initial_alloc(self):
+        graph = make_tiny_graph()
+        mix = RequestMix.from_ratios({"Read": 1})
+        cluster = ClusterSimulator(
+            graph,
+            Workload(graph, ConstantLoad(10), mix),
+            initial_alloc=np.full(graph.n_tiers, 1.5),
+        )
+        cluster.step(np.full(graph.n_tiers, 3.0))
+        cluster.reset(seed=4)
+        np.testing.assert_allclose(cluster.current_alloc, 1.5)
+
 
 class TestClipAlloc:
     def test_clips_to_tier_bounds(self, tiny_cluster):

@@ -35,6 +35,11 @@ class TestParser:
         args = _build_parser().parse_args(["explain", "--tier", "graph-redis"])
         assert args.tier == "graph-redis"
 
+    def test_jobs_flag_on_train_and_sweep(self):
+        assert _build_parser().parse_args(["train"]).jobs is None
+        assert _build_parser().parse_args(["train", "--jobs", "4"]).jobs == 4
+        assert _build_parser().parse_args(["sweep", "--jobs", "0"]).jobs == 0
+
 
 class TestExecution:
     def test_run_autoscale_episode(self, capsys):
@@ -54,3 +59,13 @@ class TestExecution:
         ])
         assert code == 0
         assert "PowerChief" in capsys.readouterr().out
+
+    def test_sweep_parallel_episodes(self, capsys):
+        code = main([
+            "sweep", "--app", "social_network", "--managers", "powerchief",
+            "--duration", "20", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "episodes in" in out
+        assert "ERR" not in out

@@ -38,6 +38,7 @@ PUBLIC_API = {
     "repro.harness": [
         "run_episode", "sweep_loads", "EpisodeResult",
         "build_sinan_pipeline", "get_trained_predictor", "format_table",
+        "run_episodes", "resolve_jobs", "EpisodeTask", "RunSummary",
     ],
 }
 
