@@ -2,10 +2,12 @@
 
 Commands mirror the paper's workflow:
 
-* ``train``   — collect data and train the hybrid model for an app,
-* ``run``     — deploy a manager against a load and report the episode,
-* ``sweep``   — the Figure 11 protocol: managers x loads comparison,
-* ``explain`` — LIME-style tier/resource attribution for a trained model.
+* ``train``      — collect data and train the hybrid model for an app,
+* ``run``        — deploy a manager against a load and report the episode
+  (``--fault-profile`` injects crashes / stragglers / telemetry faults),
+* ``sweep``      — the Figure 11 protocol: managers x loads comparison,
+* ``resilience`` — fault profiles x managers sweep with recovery metrics,
+* ``explain``    — LIME-style tier/resource attribution for a model.
 """
 
 from __future__ import annotations
@@ -52,13 +54,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="retrain even if a cached model exists "
                             "(the fresh model still refreshes the cache)")
 
+    from repro.sim.faults import FAULT_PROFILES
+
+    managers = ("sinan", "autoscale-opt", "autoscale-cons", "powerchief",
+                "static")
+
     run = sub.add_parser("run", help="run one manager/load episode")
     _add_common(run)
-    run.add_argument("--manager", default="sinan",
-                     choices=("sinan", "autoscale-opt", "autoscale-cons",
-                              "powerchief"))
+    run.add_argument("--manager", default="sinan", choices=managers)
     run.add_argument("--users", type=float, default=250)
     run.add_argument("--duration", type=int, default=150)
+    run.add_argument("--fault-profile", default=None,
+                     choices=sorted(FAULT_PROFILES),
+                     help="inject a named fault profile into the episode")
 
     sweep = sub.add_parser("sweep", help="Figure 11 comparison sweep")
     _add_common(sweep)
@@ -66,6 +74,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--duration", type=int, default=150)
     sweep.add_argument(
         "--managers", default="sinan,autoscale-opt,autoscale-cons,powerchief"
+    )
+
+    resilience = sub.add_parser(
+        "resilience", help="fault profiles x managers resilience sweep"
+    )
+    _add_common(resilience)
+    _add_jobs(resilience)
+    resilience.add_argument("--users", type=float, default=250)
+    resilience.add_argument("--duration", type=int, default=120)
+    resilience.add_argument(
+        "--profiles", default="crash-storm,telemetry-dropout",
+        help="comma-separated fault profile names "
+             f"(available: {','.join(sorted(FAULT_PROFILES))})",
+    )
+    resilience.add_argument(
+        "--managers", default="sinan,autoscale-cons,static",
+        help="comma-separated manager names",
     )
 
     explain = sub.add_parser("explain", help="attribute tail latency to tiers")
@@ -76,18 +101,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _make_manager(name: str, predictor, spec, graph):
-    from repro.baselines import AutoScale, PowerChief
-    from repro.core.sinan import SinanManager
+    from repro.harness.pipeline import make_manager
 
-    if name == "sinan":
-        return SinanManager(predictor, spec.qos, graph)
-    if name == "autoscale-opt":
-        return AutoScale.opt(graph.min_alloc(), graph.max_alloc())
-    if name == "autoscale-cons":
-        return AutoScale.conservative(graph.min_alloc(), graph.max_alloc())
-    if name == "powerchief":
-        return PowerChief(graph.min_alloc(), graph.max_alloc())
-    raise ValueError(name)
+    return make_manager(name, graph, spec.qos, predictor)
 
 
 def cmd_train(args) -> int:
@@ -111,6 +127,7 @@ def cmd_train(args) -> int:
 def cmd_run(args) -> int:
     from repro.harness.experiment import run_episode
     from repro.harness.pipeline import app_spec, get_trained_predictor, make_cluster
+    from repro.harness.resilience import run_resilience_episode
 
     spec = app_spec(args.app)
     graph = spec.graph_factory()
@@ -118,14 +135,56 @@ def cmd_run(args) -> int:
     if args.manager == "sinan":
         predictor = get_trained_predictor(args.app, args.budget, seed=args.seed)
     manager = _make_manager(args.manager, predictor, spec, graph)
-    cluster = make_cluster(graph, args.users, seed=args.seed)
-    result = run_episode(manager, cluster, args.duration, spec.qos,
-                         warmup=min(30, args.duration // 4))
+    cluster = make_cluster(graph, args.users, seed=args.seed,
+                           fault_profile=args.fault_profile)
+    warmup = min(30, args.duration // 4)
+    if args.fault_profile:
+        result = run_resilience_episode(
+            manager, cluster, args.duration, spec.qos, warmup=warmup,
+        )
+    else:
+        result = run_episode(manager, cluster, args.duration, spec.qos,
+                             warmup=warmup)
     print(f"{manager.name} @ {args.users:g} users for {args.duration}s:")
     print(f"  mean CPU: {result.mean_total_cpu:.1f} cores "
           f"(max {result.max_total_cpu:.1f})")
     print(f"  P(meet QoS): {result.qos_fraction:.3f} "
           f"(QoS = {spec.qos.latency_ms:.0f} ms p99)")
+    if args.fault_profile:
+        print(f"  faults: {result.n_faults} injected "
+              f"({args.fault_profile}), mean recovery "
+              f"{result.mean_recovery:.1f} intervals, telemetry "
+              f"{result.dropped_intervals} dropped / "
+              f"{result.corrupted_intervals} corrupted")
+        if result.mispredictions is not None:
+            print(f"  safety: {result.mispredictions} mispredictions, "
+                  f"{result.fallbacks} max-alloc fallbacks "
+                  f"({result.predictor_failures} predictor failures), "
+                  f"trusted={result.trusted}")
+    return 0
+
+
+def cmd_resilience(args) -> int:
+    from repro.harness.pipeline import get_trained_predictor
+    from repro.harness.resilience import (
+        format_resilience_report,
+        sweep_resilience,
+    )
+
+    profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+    names = [n.strip() for n in args.managers.split(",") if n.strip()]
+    predictor = None
+    if "sinan" in names:
+        predictor = get_trained_predictor(
+            args.app, args.budget, seed=args.seed, jobs=args.jobs
+        )
+    results = sweep_resilience(
+        args.app, profiles, names,
+        users=args.users, duration=args.duration, seed=args.seed,
+        warmup=min(30, args.duration // 4), predictor=predictor,
+        jobs=args.jobs,
+    )
+    print(format_resilience_report(results))
     return 0
 
 
@@ -239,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": cmd_train,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "resilience": cmd_resilience,
         "explain": cmd_explain,
     }
     return handlers[args.command](args)

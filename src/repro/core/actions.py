@@ -211,7 +211,28 @@ class ActionSpace:
                         f"up {int(victims.sum())} recent victim tiers",
                     )
                 )
-        return actions
+        return self._dedupe(actions)
+
+    @staticmethod
+    def _dedupe(actions: list[Action]) -> list[Action]:
+        """Drop candidates whose resulting allocation duplicates another
+        (distinct steps clipping to the same ``min_alloc`` /
+        ``max_alloc`` boundary), so no allocation is scored twice.
+
+        The *last* occurrence of each allocation wins: the most specific
+        kind (e.g. Scale Up Victim, generated after the generic per-tier
+        upscales it may coincide with) keeps its label.
+        """
+        seen: set[tuple] = set()
+        unique: list[Action] = []
+        for action in reversed(actions):
+            key = tuple(np.round(action.alloc, 9))
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(action)
+        unique.reverse()
+        return unique
 
     def max_allocation_action(self) -> Action:
         """The safety fallback: every tier at its ceiling."""

@@ -20,12 +20,64 @@ target is what interval *i+1* measured, and the violation label looks
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.core.qos import QoSTarget
 from repro.sim.graph import AppGraph
 from repro.sim.telemetry import IntervalStats, TelemetryLog
 from repro.ml.dataset import SinanDataset
+
+#: Per-tier / per-percentile fields checked (and repaired) by
+#: :func:`sanitize_window` before encoding.
+_SANITIZED_FIELDS: tuple[str, ...] = (
+    "cpu_util",
+    "cpu_alloc",
+    "rss_mb",
+    "cache_mb",
+    "rx_pps",
+    "tx_pps",
+    "latency_ms",
+)
+
+
+def sanitize_window(window: list[IntervalStats]) -> list[IntervalStats]:
+    """Repair non-finite telemetry before it reaches the models.
+
+    A faulty agent can report NaN channels or corrupted counters (see
+    :mod:`repro.sim.faults`); feeding those into the CNN would poison
+    every candidate's score for the decision.  Each non-finite element
+    is replaced by the most recent finite value of the same field from
+    earlier in the window (carried forward), or ``0.0`` when the window
+    never held a finite value.  Clean windows are returned as-is, with
+    no copies made.
+    """
+    last_good: dict[str, np.ndarray] = {}
+    cleaned: list[IntervalStats] = []
+    any_repaired = False
+    for stats in window:
+        repairs: dict[str, np.ndarray] = {}
+        for name in _SANITIZED_FIELDS:
+            values = getattr(stats, name)
+            finite = np.isfinite(values)
+            if not finite.all():
+                fallback = last_good.get(name)
+                repaired = values.copy()
+                if fallback is None:
+                    repaired[~finite] = 0.0
+                else:
+                    repaired[~finite] = fallback[~finite]
+                repairs[name] = repaired
+                last_good[name] = repaired
+            else:
+                last_good[name] = values
+        if repairs:
+            any_repaired = True
+            cleaned.append(replace(stats, **repairs))
+        else:
+            cleaned.append(stats)
+    return cleaned if any_repaired else window
 
 
 class WindowEncoder:
@@ -53,6 +105,7 @@ class WindowEncoder:
             raise ValueError(
                 f"window must hold {self.n_timesteps} intervals, got {len(window)}"
             )
+        window = sanitize_window(window)
         x_rh = np.stack([s.resource_matrix() for s in window], axis=2)
         x_lh = np.stack([s.latency_ms for s in window], axis=0)
         x_rc = np.asarray(candidate_alloc, dtype=float)
@@ -75,7 +128,7 @@ class WindowEncoder:
         broadcast, so one CNN forward evaluates every allocation the
         scheduler is considering.
         """
-        window = log.window(self.n_timesteps)
+        window = sanitize_window(log.window(self.n_timesteps))
         x_rh = np.stack([s.resource_matrix() for s in window], axis=2)
         x_lh = np.stack([s.latency_ms for s in window], axis=0)
         b = len(candidates)
@@ -134,4 +187,4 @@ def build_dataset(
     )
 
 
-__all__ = ["WindowEncoder", "build_dataset"]
+__all__ = ["WindowEncoder", "build_dataset", "sanitize_window"]

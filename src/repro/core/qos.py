@@ -52,12 +52,14 @@ class QoSTarget:
         if horizon < 1:
             raise ValueError("horizon must be >= 1")
         series = np.asarray(latency_series, dtype=float)
+        if series.size == 0:
+            return np.zeros(0, dtype=np.int64)
         violated = series > self.latency_ms
-        labels = np.zeros(len(series))
-        for offset in range(horizon):
-            shifted = violated[offset:]
-            labels[: len(shifted)] = np.maximum(labels[: len(shifted)], shifted)
-        return labels
+        # Sliding-window maximum: right-pad with False so the tail windows
+        # shrink to the remaining intervals, then OR over each window.
+        padded = np.concatenate([violated, np.zeros(horizon - 1, dtype=bool)])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, horizon)
+        return windows.any(axis=1).astype(np.int64)
 
 
 __all__ = ["QoSTarget"]

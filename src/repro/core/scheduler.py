@@ -17,6 +17,12 @@ arrives that the model did not predict, the scheduler immediately
 upscales every tier, counts the misprediction, and — past a trust
 threshold — becomes more conservative about reclaiming resources (in
 the paper's deployments the trust never had to drop).
+
+The scheduler also degrades gracefully instead of crashing the control
+loop: non-finite telemetry (see :mod:`repro.sim.faults`) is sanitized
+before encoding, a predictor exception or non-finite score falls back
+to the max-allocation safety action, and an unknown (NaN) measured
+latency blocks reclamation until a trustworthy reading returns.
 """
 
 from __future__ import annotations
@@ -94,6 +100,12 @@ class OnlineScheduler(Manager):
     def reset(self) -> None:
         self.mispredictions = 0
         self.decisions = 0
+        self.fallbacks = 0
+        """Decisions resolved by the max-allocation safety action (no
+        acceptable candidate, or a predictor failure)."""
+        self.predictor_failures = 0
+        """Scoring attempts that raised or returned non-finite output
+        (a :attr:`fallbacks` subset)."""
         self._last_predicted_safe = True
         self._hold_p_ewma = 0.0
         self._cooldown = 0
@@ -113,9 +125,16 @@ class OnlineScheduler(Manager):
         if len(log) == 0:
             return None
         latest = log.latest
-        current = latest.cpu_alloc
+        current = np.asarray(latest.cpu_alloc, dtype=float)
+        if not np.all(np.isfinite(current)):
+            # A corrupted allocation reading cannot anchor the candidate
+            # set; assume the ceiling (the safe direction) where unknown.
+            current = np.where(
+                np.isfinite(current), current, self.action_space.max_alloc
+            )
         measured = self.qos.latency_of(latest)
-        violated_now = measured > self.qos.latency_ms
+        measured_known = bool(np.isfinite(measured))
+        violated_now = measured_known and measured > self.qos.latency_ms
         self.decisions += 1
         self._victim_age += 1
 
@@ -133,19 +152,41 @@ class OnlineScheduler(Manager):
 
         self._cooldown = max(self._cooldown - 1, 0)
         allow_down = (
-            measured < self.config.reclaim_latency_frac * self.qos.latency_ms
+            measured_known
+            and measured < self.config.reclaim_latency_frac * self.qos.latency_ms
             and self._cooldown == 0
             and self.trusted
         )
         victims = self._victim_age <= self.config.victim_window
+        # A NaN utilization reading counts as busy: reclaiming a tier we
+        # cannot see is never safe.
+        cpu_util = np.nan_to_num(
+            np.asarray(latest.cpu_util, dtype=float),
+            nan=1.0, posinf=1.0, neginf=0.0,
+        )
         actions = self.action_space.candidates(
             current,
-            latest.cpu_util,
+            cpu_util,
             victims=victims,
             allow_scale_down=allow_down,
         )
         candidates = np.stack([a.alloc for a in actions])
-        latency, prob = self.predictor.predict_candidates(log, candidates)
+        try:
+            latency, prob = self.predictor.predict_candidates(log, candidates)
+            if not (np.all(np.isfinite(latency)) and np.all(np.isfinite(prob))):
+                raise ArithmeticError("non-finite predictor output")
+        except Exception:
+            # Graceful degradation (never crash the control loop): an
+            # unscorable decision takes the paper's max-allocation safety
+            # action and blocks reclamation for a cooldown.
+            self.predictor_failures += 1
+            self.fallbacks += 1
+            self._last_predicted_safe = False
+            self._cooldown = self.config.down_cooldown
+            chosen = self.action_space.max_allocation_action()
+            self._record(measured, np.nan, 1.0, fallback=True)
+            return chosen.alloc
+
         pred_qos_lat = latency[:, self.qos.percentile_index]
 
         chosen_idx = self._select(actions, pred_qos_lat, prob)
@@ -155,8 +196,9 @@ class OnlineScheduler(Manager):
             self._record(measured, float(pred_qos_lat[chosen_idx]), float(prob[chosen_idx]))
         else:  # fallback to max allocation
             chosen = self.action_space.max_allocation_action()
+            self.fallbacks += 1
             self._last_predicted_safe = False
-            self._record(measured, np.nan, 1.0)
+            self._record(measured, np.nan, 1.0, fallback=True)
 
         if chosen.kind in (
             ActionKind.SCALE_UP,
@@ -212,12 +254,16 @@ class OnlineScheduler(Manager):
             return None
         return min(ups, key=lambda i: actions[i].total_cpu)
 
-    def _record(self, measured: float, predicted: float, p_viol: float) -> None:
+    def _record(
+        self, measured: float, predicted: float, p_viol: float,
+        fallback: bool = False,
+    ) -> None:
         self.prediction_trace.append(
             {
                 "measured_ms": measured,
                 "predicted_ms": predicted,
                 "p_violation": p_viol,
+                "fallback": 1.0 if fallback else 0.0,
             }
         )
 

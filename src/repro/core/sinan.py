@@ -64,5 +64,15 @@ class SinanManager(Manager):
     def trusted(self) -> bool:
         return self.scheduler.trusted
 
+    @property
+    def fallbacks(self) -> int:
+        """Decisions resolved by the max-allocation safety action."""
+        return self.scheduler.fallbacks
+
+    @property
+    def predictor_failures(self) -> int:
+        """Scoring attempts that raised or returned non-finite output."""
+        return self.scheduler.predictor_failures
+
 
 __all__ = ["SinanManager"]

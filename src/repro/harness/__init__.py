@@ -15,12 +15,19 @@ from repro.harness.pipeline import (
     BUDGETS,
     app_spec,
     make_cluster,
+    make_manager,
     collect_training_data,
     get_trained_predictor,
     build_sinan_pipeline,
     resolve_budget,
 )
 from repro.harness.reporting import format_table, format_series
+from repro.harness.resilience import (
+    ResilienceResult,
+    format_resilience_report,
+    run_resilience_episode,
+    sweep_resilience,
+)
 
 __all__ = [
     "EpisodeResult",
@@ -36,10 +43,15 @@ __all__ = [
     "BUDGETS",
     "app_spec",
     "make_cluster",
+    "make_manager",
     "collect_training_data",
     "get_trained_predictor",
     "build_sinan_pipeline",
     "resolve_budget",
     "format_table",
     "format_series",
+    "ResilienceResult",
+    "format_resilience_report",
+    "run_resilience_episode",
+    "sweep_resilience",
 ]

@@ -56,12 +56,17 @@ def run_episode(
     The first ``warmup`` intervals are excluded from the summary metrics
     (the manager is converging from the deploy-time allocation), but are
     retained in the telemetry log.
+
+    The manager reads the cluster's *observed* telemetry — identical to
+    the ground-truth log unless a fault injector is corrupting the
+    manager's view — while the summary metrics always score ground
+    truth.
     """
     if duration <= warmup:
         raise ValueError("duration must exceed warmup")
     manager.reset()
     for _ in range(duration):
-        alloc = manager.decide(cluster.telemetry)
+        alloc = manager.decide(cluster.observed)
         cluster.step(alloc)
 
     log = cluster.telemetry

@@ -66,6 +66,7 @@ from repro.sim.cluster import (
     ClusterSimulator,
     PlatformSpec,
 )
+from repro.sim.faults import FaultInjector, FaultProfile, resolve_profile
 from repro.sim.graph import AppGraph
 from repro.workload.generator import RequestMix, Workload
 from repro.workload.mixes import hotel_mix, social_mix
@@ -181,15 +182,62 @@ def make_cluster(
     platform: PlatformSpec = LOCAL_PLATFORM,
     behaviors: tuple[Behavior, ...] = (),
     pattern: LoadPattern | None = None,
+    fault_profile: str | FaultProfile | None = None,
+    fault_seed: int | None = None,
 ) -> ClusterSimulator:
-    """Build a fresh episode for ``graph`` at a given load."""
+    """Build a fresh episode for ``graph`` at a given load.
+
+    ``fault_profile`` (a name from
+    :data:`~repro.sim.faults.FAULT_PROFILES` or a profile instance)
+    attaches a seeded :class:`~repro.sim.faults.FaultInjector`;
+    ``fault_seed`` defaults to the episode seed, keeping fault runs
+    bit-identical for a fixed seed under any ``--jobs`` fan-out.
+    """
     spec = app_spec(graph)
     workload = Workload(
         graph,
         pattern or ConstantLoad(users),
         mix or spec.mix_factory(),
     )
-    return ClusterSimulator(graph, workload, platform=platform, seed=seed, behaviors=behaviors)
+    faults = None
+    if fault_profile is not None:
+        faults = FaultInjector(
+            resolve_profile(fault_profile),
+            graph.n_tiers,
+            seed=seed if fault_seed is None else fault_seed,
+        )
+    return ClusterSimulator(
+        graph, workload, platform=platform, seed=seed, behaviors=behaviors,
+        faults=faults,
+    )
+
+
+def make_manager(name: str, graph: AppGraph, qos: QoSTarget, predictor=None):
+    """Build a manager by CLI name (shared by ``run``/``sweep``/``resilience``).
+
+    ``static`` holds the deploy-time allocation (60% of each ceiling,
+    matching :class:`~repro.sim.cluster.ClusterSimulator`'s default) —
+    the no-reaction baseline fault scenarios are compared against.
+    """
+    from repro.baselines import AutoScale, PowerChief
+    from repro.core.manager import StaticManager
+
+    if name == "sinan":
+        if predictor is None:
+            raise ValueError("the sinan manager needs a trained predictor")
+        return SinanManager(predictor, qos, graph)
+    if name == "autoscale-opt":
+        return AutoScale.opt(graph.min_alloc(), graph.max_alloc())
+    if name == "autoscale-cons":
+        return AutoScale.conservative(graph.min_alloc(), graph.max_alloc())
+    if name == "powerchief":
+        return PowerChief(graph.min_alloc(), graph.max_alloc())
+    if name == "static":
+        return StaticManager(graph.max_alloc() * 0.6)
+    raise ValueError(
+        f"unknown manager {name!r}; choose from sinan, autoscale-opt, "
+        "autoscale-cons, powerchief, static"
+    )
 
 
 def collection_loads(spec: AppSpec, budget: Budget) -> list[float]:
@@ -489,6 +537,7 @@ __all__ = [
     "AppSpec",
     "app_spec",
     "make_cluster",
+    "make_manager",
     "collection_loads",
     "collect_training_data",
     "get_trained_predictor",

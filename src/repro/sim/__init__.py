@@ -28,6 +28,13 @@ from repro.sim.telemetry import (
 )
 from repro.sim.behaviors import Behavior, CapacityFault
 from repro.sim.engine import QueueingEngine
+from repro.sim.faults import (
+    FAULT_PROFILES,
+    FaultEvent,
+    FaultInjector,
+    FaultProfile,
+    resolve_profile,
+)
 from repro.sim.cluster import ClusterSimulator, PlatformSpec, LOCAL_PLATFORM, GCE_PLATFORM
 
 __all__ = [
@@ -41,6 +48,11 @@ __all__ = [
     "RESOURCE_CHANNELS",
     "Behavior",
     "CapacityFault",
+    "FAULT_PROFILES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultProfile",
+    "resolve_profile",
     "QueueingEngine",
     "ClusterSimulator",
     "PlatformSpec",

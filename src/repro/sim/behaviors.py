@@ -28,6 +28,15 @@ class Behavior:
         """
         return None
 
+    def replica_multiplier(self, time: float, n_tiers: int) -> np.ndarray | None:
+        """Per-tier multiplicative factor on the live replica count.
+
+        A crashed replica takes its share of the tier's concurrency slots
+        and soft (software-scalability) throughput with it until it
+        restarts; values are in ``(0, 1]``.
+        """
+        return None
+
     def rss_extra_mb(self, time: float, n_tiers: int) -> np.ndarray | None:
         """Per-tier additive resident-set-size delta (MB) at ``time``."""
         return None

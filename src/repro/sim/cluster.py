@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.sim.behaviors import Behavior
 from repro.sim.engine import EngineConfig, QueueingEngine
+from repro.sim.faults import FaultInjector
 from repro.sim.graph import AppGraph
 from repro.sim.telemetry import IntervalStats, TelemetryLog
 from repro.workload.generator import Workload
@@ -71,6 +72,11 @@ class ClusterSimulator:
     initial_alloc:
         Starting per-tier CPU limits; defaults to a generous half of each
         tier's ceiling, as an operator would over-provision at deploy time.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultInjector`; adds the
+        profile's physics faults to the engine and splits the telemetry
+        into ground truth (:attr:`telemetry`) and the manager's possibly
+        corrupted view (:attr:`observed`).
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class ClusterSimulator:
         behaviors: tuple[Behavior, ...] = (),
         initial_alloc: np.ndarray | None = None,
         engine_config: EngineConfig | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if workload.graph is not graph and workload.graph.name != graph.name:
             raise ValueError("workload was built for a different application")
@@ -89,8 +96,14 @@ class ClusterSimulator:
             graph = graph.map_tiers(
                 lambda t: t.with_replicas(t.replicas * platform.replica_factor)
             )
+        if faults is not None and faults.n_tiers != graph.n_tiers:
+            raise ValueError(
+                f"fault injector was built for {faults.n_tiers} tiers, "
+                f"application has {graph.n_tiers}"
+            )
         self.graph = graph
         self.platform = platform
+        self.faults = faults
         self.workload = (
             workload if workload.graph is graph else workload_rebind(workload, graph)
         )
@@ -100,8 +113,11 @@ class ClusterSimulator:
             noise_sigma=platform.noise_sigma,
             capacity_jitter=platform.capacity_jitter,
         )
+        if faults is not None:
+            behaviors = tuple(behaviors) + faults.behaviors()
         self.engine = QueueingEngine(graph, config, seed=seed, behaviors=behaviors)
         self.telemetry = TelemetryLog()
+        self.observed = self.telemetry if faults is None else TelemetryLog()
         self._min_alloc = graph.min_alloc()
         self._max_alloc = graph.max_alloc()
         if initial_alloc is None:
@@ -171,8 +187,14 @@ class ClusterSimulator:
                 allocs = vector
             self.current_alloc = self.clip_alloc(np.asarray(allocs, dtype=float))
         rates = self.workload.rates(self.time)
+        if self.faults is not None:
+            rates = rates * self.faults.load_multiplier(self.time)
         stats = self.engine.run_interval(self.current_alloc, rates)
         self.telemetry.append(stats)
+        if self.faults is not None:
+            observed = self.faults.observe(stats)
+            if observed is not None:
+                self.observed.append(observed)
         return stats
 
     def run(self, duration: int, allocs: np.ndarray | None = None) -> TelemetryLog:
@@ -188,6 +210,11 @@ class ClusterSimulator:
         manager last set)."""
         self.engine.reset(seed)
         self.telemetry = TelemetryLog()
+        if self.faults is not None:
+            self.faults.reset()
+            self.observed = TelemetryLog()
+        else:
+            self.observed = self.telemetry
         self.current_alloc = self._initial_alloc.copy()
 
 

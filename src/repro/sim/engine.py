@@ -238,7 +238,23 @@ class QueueingEngine:
                 mult = mult * factor
         return mult
 
-    def _compute_sojourn(self, allocs: np.ndarray, cap_mult: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _behavior_replicas(self, n: int) -> np.ndarray:
+        """Effective replica fraction per tier (crashed replicas gone).
+
+        Floored away from zero: even a fully crashed tier retains a
+        sliver of capacity (the restarting replica), keeping the fluid
+        model finite.
+        """
+        mult = np.ones(n)
+        for behavior in self.behaviors:
+            factor = behavior.replica_multiplier(self.time, n)
+            if factor is not None:
+                mult = mult * factor
+        return np.clip(mult, 0.02, None)
+
+    def _compute_sojourn(
+        self, allocs: np.ndarray, cap_mult: np.ndarray, rep_mult: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Per-tier sojourn W and effective service rate mu for this tick.
 
         Processes levels bottom-up so each caller sees its callees' fresh
@@ -253,8 +269,9 @@ class QueueingEngine:
         stretch = 1.0 + (full_stretch - 1.0) * self._busy_ewma
         # Software-scalability contention: service time inflates as the
         # per-replica throughput approaches the tier's soft limit (locks,
-        # GC, coordination) — no CPU limit increase fixes this.
-        saturation = np.clip(self._demand / self._soft_thr, 0.0, 1.0)
+        # GC, coordination) — no CPU limit increase fixes this.  Crashed
+        # replicas shrink the surviving soft limit proportionally.
+        saturation = np.clip(self._demand / (self._soft_thr * rep_mult), 0.0, 1.0)
         # Quartic curve: negligible below ~60% of the soft limit, then a
         # sharp contention knee approaching it (up to 12x service time).
         inflation = 1.0 / np.clip(1.0 - saturation**4, 1.0 / 12.0, 1.0)
@@ -270,7 +287,12 @@ class QueueingEngine:
                 child_w = np.where(mask, child_w, 0.0)
                 downstream[members] = child_w.max(axis=1)
             hold = service_time[members] + self._base_lat[members] + downstream[members]
-            conc = self._conc_per_core[members] * allocs[members] * self._replicas[members]
+            conc = (
+                self._conc_per_core[members]
+                * allocs[members]
+                * self._replicas[members]
+                * rep_mult[members]
+            )
             mu_conc = conc / np.maximum(hold, _EPS)
             mu_lvl = np.minimum(mu_cpu[members], mu_conc) * cap_mult[members]
             mu_lvl = np.maximum(mu_lvl, _EPS)
@@ -333,17 +355,18 @@ class QueueingEngine:
             self._demand = 0.8 * self._demand + 0.2 * (arrivals / cfg.tick)
 
             cap_mult = self._behavior_capacity(n)
+            rep_mult = self._behavior_replicas(n)
             if cfg.capacity_jitter > 0:
                 # Service capacity is noisier near the software saturation
                 # point (GC pauses, lock convoys, scheduler interference):
                 # this is what makes thin-headroom operation increasingly
                 # fragile at high absolute load.
-                saturation = np.clip(self._demand / self._soft_thr, 0.0, 1.0)
+                saturation = np.clip(self._demand / (self._soft_thr * rep_mult), 0.0, 1.0)
                 sigma = cfg.capacity_jitter * (1.0 + 3.0 * saturation)
                 jitter = 1.0 + self._rng.normal(0.0, 1.0, size=n) * sigma
                 cap_mult = cap_mult * np.clip(jitter, 0.3, 1.7)
 
-            sojourn, mu = self._compute_sojourn(allocs, cap_mult)
+            sojourn, mu = self._compute_sojourn(allocs, cap_mult, rep_mult)
             sojourn_ticks[tick] = sojourn
 
             capacity = mu * cfg.tick

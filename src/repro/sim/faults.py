@@ -1,0 +1,483 @@
+"""Seeded, composable fault injection for the cluster simulator.
+
+The paper's scheduler ships a safety mechanism — unpredicted-violation
+recovery, a trust counter, conservative reclamation — but its
+deployments never actually stressed it ("the trust never had to drop").
+This module makes those paths exercisable: a :class:`FaultInjector`
+perturbs a :class:`~repro.sim.cluster.ClusterSimulator` episode with
+
+* **replica crashes** — a tier loses a fraction of its replicas for a
+  recovery window (concurrency slots and soft throughput go with them),
+* **stragglers** — a tier's service capacity degrades for a while
+  (noisy neighbor, failing disk), via the engine's existing
+  ``capacity_multiplier`` behavior hook,
+* **telemetry corruption** — the manager's *observed* telemetry drops
+  intervals, reads NaN or stale channels, or sees cgroup-counter resets,
+  while the ground-truth log stays intact for scoring,
+* **load-spike storms** — multiplicative surges on the offered load.
+
+Faults are declared as :class:`FaultProfile`\\ s (see
+:data:`FAULT_PROFILES`), selectable from the CLI via
+``repro run --fault-profile crash-storm`` and swept by
+:mod:`repro.harness.resilience`.  All schedules and corruption draws
+come from generators seeded only by the injector's own seed, so a fault
+run is bit-identical for a fixed seed regardless of worker parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.sim.behaviors import Behavior
+from repro.sim.telemetry import IntervalStats
+
+#: Resource channels eligible for NaN / stale / reset corruption.  The
+#: CPU limit is exempt: it is the manager's own knob (the scheduler
+#: knows what it last wrote), not an agent-sampled counter.
+CORRUPTIBLE_CHANNELS: tuple[str, ...] = (
+    "cpu_util",
+    "rss_mb",
+    "cache_mb",
+    "rx_pps",
+    "tx_pps",
+    "latency_ms",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault occurrence (for injection and reporting)."""
+
+    kind: str
+    """``replica_crash`` / ``straggler`` / ``load_storm`` / telemetry
+    kinds (``telemetry_drop`` / ``telemetry_nan`` / ...)."""
+
+    start: float
+    """Onset time (seconds since episode start)."""
+
+    duration: float
+    """Fault window length (seconds)."""
+
+    tier: int = -1
+    """Affected tier index, or ``-1`` for application-wide faults."""
+
+    magnitude: float = 1.0
+    """Kind-specific severity: fraction of replicas lost, residual
+    capacity fraction, or load multiplier."""
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.start + self.duration
+
+    @property
+    def affects_physics(self) -> bool:
+        """Whether the fault perturbs the cluster itself (latency can
+        degrade), as opposed to only the manager's view of it."""
+        return self.kind in ("replica_crash", "straggler", "load_storm")
+
+
+# ----------------------------------------------------------------------
+# Fault specifications (the declarative layer profiles are built from)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicaCrashSpec:
+    """Poisson-scheduled replica crashes with a recovery window."""
+
+    kind: str = field(default="replica_crash", init=False)
+    rate_per_min: float = 1.0
+    """Expected crashes per minute across the application."""
+
+    recovery_s: tuple[float, float] = (8.0, 20.0)
+    """Min/max seconds until the crashed replicas are back."""
+
+    dead_frac: tuple[float, float] = (0.3, 0.7)
+    """Min/max fraction of the tier's replicas lost per crash."""
+
+    def schedule(
+        self, rng: np.random.Generator, n_tiers: int, horizon_s: float
+    ) -> list[FaultEvent]:
+        n_events = rng.poisson(self.rate_per_min * horizon_s / 60.0)
+        starts = np.sort(rng.uniform(0.0, horizon_s, size=n_events))
+        return [
+            FaultEvent(
+                kind=self.kind,
+                start=float(start),
+                duration=float(rng.uniform(*self.recovery_s)),
+                tier=int(rng.integers(n_tiers)),
+                magnitude=float(rng.uniform(*self.dead_frac)),
+            )
+            for start in starts
+        ]
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """Poisson-scheduled per-tier capacity degradation windows."""
+
+    kind: str = field(default="straggler", init=False)
+    rate_per_min: float = 1.0
+    duration_s: tuple[float, float] = (10.0, 30.0)
+    residual_capacity: tuple[float, float] = (0.25, 0.6)
+    """Min/max surviving fraction of the tier's service capacity."""
+
+    def schedule(
+        self, rng: np.random.Generator, n_tiers: int, horizon_s: float
+    ) -> list[FaultEvent]:
+        n_events = rng.poisson(self.rate_per_min * horizon_s / 60.0)
+        starts = np.sort(rng.uniform(0.0, horizon_s, size=n_events))
+        return [
+            FaultEvent(
+                kind=self.kind,
+                start=float(start),
+                duration=float(rng.uniform(*self.duration_s)),
+                tier=int(rng.integers(n_tiers)),
+                magnitude=float(rng.uniform(*self.residual_capacity)),
+            )
+            for start in starts
+        ]
+
+
+@dataclass(frozen=True)
+class LoadStormSpec:
+    """Poisson-scheduled multiplicative surges on the offered load."""
+
+    kind: str = field(default="load_storm", init=False)
+    rate_per_min: float = 0.6
+    duration_s: tuple[float, float] = (10.0, 25.0)
+    multiplier: tuple[float, float] = (1.6, 2.4)
+
+    def schedule(
+        self, rng: np.random.Generator, n_tiers: int, horizon_s: float
+    ) -> list[FaultEvent]:
+        n_events = rng.poisson(self.rate_per_min * horizon_s / 60.0)
+        starts = np.sort(rng.uniform(0.0, horizon_s, size=n_events))
+        return [
+            FaultEvent(
+                kind=self.kind,
+                start=float(start),
+                duration=float(rng.uniform(*self.duration_s)),
+                magnitude=float(rng.uniform(*self.multiplier)),
+            )
+            for start in starts
+        ]
+
+
+@dataclass(frozen=True)
+class TelemetryFaultSpec:
+    """Per-interval corruption of the manager's observed telemetry.
+
+    Each decision interval independently suffers at most one of: the
+    interval is dropped entirely (the agent missed its reporting
+    window), some channels read NaN, the whole sample is stale (a
+    repeat of the previous observation), or the cgroup counters reset
+    to zero.  Ground truth is untouched — only the manager's view.
+    """
+
+    kind: str = field(default="telemetry", init=False)
+    drop_prob: float = 0.0
+    nan_prob: float = 0.0
+    stale_prob: float = 0.0
+    reset_prob: float = 0.0
+    channel_frac: float = 0.5
+    """Fraction of corruptible channels a NaN event hits."""
+
+    def __post_init__(self) -> None:
+        total = self.drop_prob + self.nan_prob + self.stale_prob + self.reset_prob
+        if total > 1.0 + 1e-9:
+            raise ValueError("telemetry fault probabilities must sum to <= 1")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named, declarative bundle of fault specifications."""
+
+    name: str
+    description: str
+    specs: tuple = ()
+
+    @property
+    def telemetry_spec(self) -> TelemetryFaultSpec | None:
+        for spec in self.specs:
+            if isinstance(spec, TelemetryFaultSpec):
+                return spec
+        return None
+
+    @property
+    def scheduled_specs(self) -> tuple:
+        return tuple(
+            s for s in self.specs if not isinstance(s, TelemetryFaultSpec)
+        )
+
+
+#: Built-in profiles, selectable by name from the CLI and the harness.
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    "crash-storm": FaultProfile(
+        name="crash-storm",
+        description="frequent replica crashes with multi-interval recovery",
+        specs=(
+            ReplicaCrashSpec(rate_per_min=2.5, recovery_s=(8.0, 18.0),
+                             dead_frac=(0.4, 0.8)),
+        ),
+    ),
+    "telemetry-dropout": FaultProfile(
+        name="telemetry-dropout",
+        description="dropped intervals, NaN/stale channels, counter resets",
+        specs=(
+            TelemetryFaultSpec(drop_prob=0.10, nan_prob=0.12,
+                               stale_prob=0.08, reset_prob=0.05),
+        ),
+    ),
+    "stragglers": FaultProfile(
+        name="stragglers",
+        description="per-tier capacity degradation windows (noisy neighbors)",
+        specs=(
+            StragglerSpec(rate_per_min=1.5, duration_s=(10.0, 30.0),
+                          residual_capacity=(0.25, 0.55)),
+        ),
+    ),
+    "load-storm": FaultProfile(
+        name="load-storm",
+        description="unforecast multiplicative load surges",
+        specs=(
+            LoadStormSpec(rate_per_min=0.8, duration_s=(10.0, 25.0),
+                          multiplier=(1.6, 2.4)),
+        ),
+    ),
+    "chaos": FaultProfile(
+        name="chaos",
+        description="crashes + stragglers + load storms + telemetry corruption",
+        specs=(
+            ReplicaCrashSpec(rate_per_min=1.0, dead_frac=(0.3, 0.6)),
+            StragglerSpec(rate_per_min=0.8),
+            LoadStormSpec(rate_per_min=0.5),
+            TelemetryFaultSpec(drop_prob=0.05, nan_prob=0.06,
+                               stale_prob=0.04, reset_prob=0.03),
+        ),
+    ),
+}
+
+
+def resolve_profile(profile: str | FaultProfile) -> FaultProfile:
+    """Look up a profile by name (pass-through for instances)."""
+    if isinstance(profile, FaultProfile):
+        return profile
+    try:
+        return FAULT_PROFILES[profile]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault profile {profile!r}; choose from "
+            f"{sorted(FAULT_PROFILES)}"
+        ) from None
+
+
+class _FaultBehavior(Behavior):
+    """Adapter exposing an injector's physics faults as an engine
+    :class:`~repro.sim.behaviors.Behavior`."""
+
+    def __init__(self, injector: "FaultInjector") -> None:
+        self._injector = injector
+
+    def capacity_multiplier(self, time: float, n_tiers: int) -> np.ndarray | None:
+        return self._injector.capacity_multiplier(time, n_tiers)
+
+    def replica_multiplier(self, time: float, n_tiers: int) -> np.ndarray | None:
+        return self._injector.replica_multiplier(time, n_tiers)
+
+
+class FaultInjector:
+    """Executes one profile's faults against one episode.
+
+    The injector owns every random draw it needs (schedules at
+    construction, telemetry corruption per observed interval), all
+    derived from ``seed`` alone — never from the engine's generator —
+    so fault runs are reproducible and composable with the parallel
+    harness.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`FaultProfile` or the name of a built-in one.
+    n_tiers:
+        Tier count of the target application graph.
+    seed:
+        Seed for schedules and corruption draws.
+    horizon_s:
+        Length of the pre-generated fault schedule; episodes longer
+        than this simply see no *new* scheduled faults afterwards.
+    """
+
+    def __init__(
+        self,
+        profile: str | FaultProfile,
+        n_tiers: int,
+        seed: int = 0,
+        horizon_s: float = 3600.0,
+    ) -> None:
+        if n_tiers < 1:
+            raise ValueError("n_tiers must be >= 1")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        self.profile = resolve_profile(profile)
+        self.n_tiers = n_tiers
+        self.seed = seed
+        self.horizon_s = horizon_s
+        self.reset()
+
+    def reset(self) -> None:
+        """Regenerate schedules and counters for a fresh episode."""
+        self.events: list[FaultEvent] = []
+        for k, spec in enumerate(self.profile.scheduled_specs):
+            rng = np.random.default_rng([self.seed, k])
+            self.events.extend(
+                spec.schedule(rng, self.n_tiers, self.horizon_s)
+            )
+        self.events.sort(key=lambda e: e.start)
+        self._telem_rng = np.random.default_rng([self.seed, 10_007])
+        self._last_observed: IntervalStats | None = None
+        self.telemetry_events: list[FaultEvent] = []
+        self.dropped_intervals = 0
+        self.corrupted_intervals = 0
+
+    # ------------------------------------------------------------------
+    # Physics-side hooks (engine behaviors + workload)
+    # ------------------------------------------------------------------
+
+    def behaviors(self) -> tuple[Behavior, ...]:
+        """Engine behaviors implementing the physics faults."""
+        return (_FaultBehavior(self),)
+
+    def capacity_multiplier(self, time: float, n_tiers: int) -> np.ndarray | None:
+        mult = None
+        for event in self.events:
+            if event.kind == "straggler" and event.active(time):
+                if mult is None:
+                    mult = np.ones(n_tiers)
+                mult[event.tier] *= event.magnitude
+        return mult
+
+    def replica_multiplier(self, time: float, n_tiers: int) -> np.ndarray | None:
+        mult = None
+        for event in self.events:
+            if event.kind == "replica_crash" and event.active(time):
+                if mult is None:
+                    mult = np.ones(n_tiers)
+                mult[event.tier] *= 1.0 - event.magnitude
+        return mult
+
+    def load_multiplier(self, time: float) -> float:
+        mult = 1.0
+        for event in self.events:
+            if event.kind == "load_storm" and event.active(time):
+                mult *= event.magnitude
+        return mult
+
+    # ------------------------------------------------------------------
+    # Telemetry-side hook (what the manager observes)
+    # ------------------------------------------------------------------
+
+    def observe(self, stats: IntervalStats) -> IntervalStats | None:
+        """The manager-visible version of one true interval.
+
+        Returns ``None`` when the interval is dropped (the observed log
+        simply never receives it); otherwise a (possibly corrupted)
+        copy.  Ground truth is never mutated.
+        """
+        spec = self.profile.telemetry_spec
+        if spec is None:
+            self._last_observed = stats
+            return stats
+        draw = float(self._telem_rng.random())
+        edge = spec.drop_prob
+        if draw < edge:
+            self._record_telemetry(stats.time, "telemetry_drop")
+            self.dropped_intervals += 1
+            return None
+        edge += spec.nan_prob
+        if draw < edge:
+            observed = self._corrupt_nan(stats, spec)
+            self._record_telemetry(stats.time, "telemetry_nan")
+        else:
+            edge += spec.stale_prob
+            if draw < edge and self._last_observed is not None:
+                observed = self._corrupt_stale(stats)
+                self._record_telemetry(stats.time, "telemetry_stale")
+            else:
+                edge += spec.reset_prob
+                if draw < edge:
+                    observed = self._corrupt_reset(stats)
+                    self._record_telemetry(stats.time, "telemetry_reset")
+                else:
+                    self._last_observed = stats
+                    return stats
+        self.corrupted_intervals += 1
+        self._last_observed = observed
+        return observed
+
+    def _record_telemetry(self, time: float, kind: str) -> None:
+        self.telemetry_events.append(
+            FaultEvent(kind=kind, start=time, duration=1.0)
+        )
+
+    def _copy(self, stats: IntervalStats) -> IntervalStats:
+        return replace(
+            stats,
+            **{
+                name: getattr(stats, name).copy()
+                for name in CORRUPTIBLE_CHANNELS
+            },
+        )
+
+    def _corrupt_nan(
+        self, stats: IntervalStats, spec: TelemetryFaultSpec
+    ) -> IntervalStats:
+        observed = self._copy(stats)
+        rng = self._telem_rng
+        hit = rng.random(len(CORRUPTIBLE_CHANNELS)) < spec.channel_frac
+        if not hit.any():
+            hit[rng.integers(len(CORRUPTIBLE_CHANNELS))] = True
+        for name, corrupt in zip(CORRUPTIBLE_CHANNELS, hit):
+            if corrupt:
+                getattr(observed, name)[:] = np.nan
+        return observed
+
+    def _corrupt_stale(self, stats: IntervalStats) -> IntervalStats:
+        assert self._last_observed is not None
+        observed = self._copy(stats)
+        for name in CORRUPTIBLE_CHANNELS:
+            getattr(observed, name)[:] = getattr(self._last_observed, name)
+        return observed
+
+    def _corrupt_reset(self, stats: IntervalStats) -> IntervalStats:
+        observed = self._copy(stats)
+        for name in ("cpu_util", "rx_pps", "tx_pps"):
+            getattr(observed, name)[:] = 0.0
+        return observed
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def physics_events(self, until: float | None = None) -> list[FaultEvent]:
+        """Scheduled physics faults, optionally only those starting
+        before ``until`` seconds."""
+        events = [e for e in self.events if e.affects_physics]
+        if until is not None:
+            events = [e for e in events if e.start < until]
+        return events
+
+
+__all__ = [
+    "CORRUPTIBLE_CHANNELS",
+    "FaultEvent",
+    "ReplicaCrashSpec",
+    "StragglerSpec",
+    "LoadStormSpec",
+    "TelemetryFaultSpec",
+    "FaultProfile",
+    "FAULT_PROFILES",
+    "resolve_profile",
+    "FaultInjector",
+]

@@ -139,6 +139,8 @@ class TelemetryLog:
         an episode, matching how the paper's agent warms up its history
         buffer.
         """
+        if length <= 0:
+            raise ValueError(f"window length must be >= 1, got {length}")
         if not self._stats:
             raise IndexError("telemetry log is empty")
         tail = self._stats[-length:]

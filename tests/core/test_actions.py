@@ -115,6 +115,30 @@ class TestCandidateGeneration:
         reduced = np.flatnonzero(batch2[0].alloc < current)
         assert set(reduced) == {1, 3}
 
+    def test_candidates_are_unique(self, space):
+        """Regression: distinct steps clipping to the same boundary used
+        to produce duplicate allocations that were scored twice."""
+        for current_val in (0.3, 2.0, 7.9):  # near floor, middle, near ceiling
+            current = np.full(4, current_val)
+            victims = np.array([True, False, False, True])
+            actions = space.candidates(
+                current, np.full(4, 0.1), victims=victims
+            )
+            keys = [tuple(np.round(a.alloc, 9)) for a in actions]
+            assert len(keys) == len(set(keys))
+
+    def test_dedupe_keeps_most_specific_kind(self, space):
+        """When a victim boost coincides with a generic single-tier
+        upscale, the victim action's label survives."""
+        current = np.full(4, 2.0)
+        victims = np.array([True, False, False, False])
+        actions = space.candidates(
+            current, np.full(4, 0.3), victims=victims
+        )
+        got = kinds_of(actions)
+        assert ActionKind.SCALE_UP_VICTIM in got
+        assert ActionKind.SCALE_UP in got
+
     def test_max_allocation_action(self, space):
         action = space.max_allocation_action()
         np.testing.assert_allclose(action.alloc, space.max_alloc)

@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.features import WindowEncoder, build_dataset
+from repro.core.features import WindowEncoder, build_dataset, sanitize_window
 from repro.core.qos import QoSTarget
 from tests.conftest import make_tiny_cluster
+from tests.sim.test_telemetry import make_stats
 
 
 @pytest.fixture
@@ -16,6 +17,65 @@ def recorded_cluster():
         alloc = cluster.current_alloc + rng.uniform(-0.3, 0.3, cluster.n_tiers)
         cluster.step(cluster.clip_alloc(alloc))
     return cluster
+
+
+class TestSanitizeWindow:
+    def test_clean_window_returned_as_is(self):
+        window = [make_stats(time=float(i)) for i in range(3)]
+        assert sanitize_window(window) is window
+
+    def test_nan_carried_forward_from_last_finite(self):
+        window = [make_stats(time=float(i)) for i in range(3)]
+        window[1].cpu_util[:] = np.nan
+        cleaned = sanitize_window(window)
+        np.testing.assert_allclose(cleaned[1].cpu_util, window[0].cpu_util)
+        # Originals are never mutated.
+        assert np.isnan(window[1].cpu_util).all()
+
+    def test_elementwise_repair(self):
+        """Only the non-finite elements are replaced."""
+        window = [make_stats(time=float(i)) for i in range(2)]
+        window[1].rss_mb[0] = np.inf
+        window[1].rss_mb[2] = 777.0
+        cleaned = sanitize_window(window)
+        assert cleaned[1].rss_mb[0] == window[0].rss_mb[0]
+        assert cleaned[1].rss_mb[2] == 777.0
+
+    def test_zero_fill_when_never_finite(self):
+        window = [make_stats(time=float(i)) for i in range(2)]
+        for stats in window:
+            stats.latency_ms[:] = np.nan
+        cleaned = sanitize_window(window)
+        for stats in cleaned:
+            np.testing.assert_allclose(stats.latency_ms, 0.0)
+
+    def test_repaired_values_propagate(self):
+        """A repaired interval becomes the carry-forward source for the
+        next corrupted one."""
+        window = [make_stats(time=float(i)) for i in range(3)]
+        window[0].tx_pps[:] = 42.0
+        window[1].tx_pps[:] = np.nan
+        window[2].tx_pps[:] = np.nan
+        cleaned = sanitize_window(window)
+        np.testing.assert_allclose(cleaned[2].tx_pps, 42.0)
+
+    def test_encoder_output_finite_under_corruption(self):
+        window = [make_stats(time=float(i)) for i in range(5)]
+        window[2].cpu_util[:] = np.nan
+        window[4].latency_ms[:] = np.nan
+        enc = WindowEncoder.__new__(WindowEncoder)
+        # Build a minimal encoder for the 3-tier make_stats shape.
+        from repro.sim.graph import AppGraph, RequestType
+        from repro.sim.tier import TierKind, TierSpec
+        tiers = [TierSpec(f"t{i}", kind=TierKind.LOGIC) for i in range(3)]
+        graph = AppGraph(
+            "x", tiers, [("t0", "t1"), ("t1", "t2")],
+            [RequestType("r", stages=(("t0",), ("t1",), ("t2",)))],
+        )
+        enc = WindowEncoder(graph, n_timesteps=5)
+        x_rh, x_lh, _ = enc.encode_window(window, np.ones(3))
+        assert np.isfinite(x_rh).all()
+        assert np.isfinite(x_lh).all()
 
 
 class TestWindowEncoder:

@@ -47,6 +47,31 @@ class TestViolationLabels:
         labels = qos.violation_labels(series, horizon=5)
         np.testing.assert_allclose(labels, [1, 1, 1])
 
+    def test_returns_integer_array(self):
+        qos = QoSTarget(latency_ms=100.0)
+        labels = qos.violation_labels(np.array([50.0, 150.0]), horizon=2)
+        assert labels.dtype == np.int64
+
+    def test_empty_series(self):
+        qos = QoSTarget(latency_ms=100.0)
+        labels = qos.violation_labels(np.array([]), horizon=3)
+        assert labels.shape == (0,)
+        assert labels.dtype == np.int64
+
+    def test_matches_reference_loop(self):
+        """The vectorized sliding-window max agrees with the naive loop
+        on a long random series."""
+        qos = QoSTarget(latency_ms=250.0)
+        rng = np.random.default_rng(0)
+        series = rng.uniform(0.0, 500.0, size=500)
+        for horizon in (1, 3, 5, 17):
+            labels = qos.violation_labels(series, horizon)
+            reference = np.array([
+                int(np.any(series[i:i + horizon] > 250.0))
+                for i in range(len(series))
+            ])
+            np.testing.assert_array_equal(labels, reference)
+
     def test_invalid_horizon(self):
         with pytest.raises(ValueError):
             QoSTarget(latency_ms=100.0).violation_labels(np.zeros(3), 0)

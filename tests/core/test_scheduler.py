@@ -144,6 +144,126 @@ class TestSafetyMechanism:
         assert alloc.sum() >= 4 * 2.0 - 1e-9
 
 
+class FailingPredictor(StubPredictor):
+    """Predictor whose scoring raises after ``good_calls`` successes."""
+
+    def __init__(self, good_calls=0, **kwargs):
+        super().__init__(**kwargs)
+        self.good_calls = good_calls
+        self.calls = 0
+
+    def predict_candidates(self, log, candidates):
+        self.calls += 1
+        if self.calls > self.good_calls:
+            raise RuntimeError("model server down")
+        return super().predict_candidates(log, candidates)
+
+
+def make_nan_log(p99=100.0, alloc=2.0, n_intervals=6, nan_util=False,
+                 nan_latency=False, nan_alloc=False):
+    log = make_log(p99=p99, alloc=alloc, n_intervals=n_intervals)
+    latest = log.latest
+    if nan_util:
+        latest.cpu_util[:] = np.nan
+    if nan_latency:
+        latest.latency_ms[:] = np.nan
+    if nan_alloc:
+        latest.cpu_alloc[0] = np.nan
+    return log
+
+
+class TestGracefulDegradation:
+    def test_predictor_exception_falls_back_to_max(self):
+        sched = make_scheduler(FailingPredictor())
+        alloc = sched.decide(make_log())
+        np.testing.assert_allclose(alloc, 8.0)
+        assert sched.fallbacks == 1
+        assert sched.predictor_failures == 1
+        assert sched.prediction_trace[-1]["fallback"] == 1.0
+
+    def test_nonfinite_predictor_output_falls_back(self):
+        sched = make_scheduler(StubPredictor(latency_fn=lambda a: np.nan))
+        alloc = sched.decide(make_log())
+        np.testing.assert_allclose(alloc, 8.0)
+        assert sched.predictor_failures == 1
+
+    def test_fallback_blocks_reclamation_for_cooldown(self):
+        sched = make_scheduler(FailingPredictor(good_calls=0),
+                               down_cooldown=3)
+        sched.decide(make_log())  # fails -> max alloc, cooldown set
+        sched.predictor.good_calls = 10**9  # healthy again
+        alloc = sched.decide(make_log(alloc=8.0))
+        assert alloc.sum() >= 4 * 8.0 - 1e-9  # still cooling down
+
+    def test_no_acceptable_action_counts_fallback(self):
+        sched = make_scheduler(StubPredictor(prob_fn=lambda a: 0.99))
+        sched.decide(make_log())
+        assert sched.fallbacks == 1
+        assert sched.predictor_failures == 0  # the model answered
+
+    def test_nan_measured_latency_blocks_reclamation(self):
+        """An unknown p99 must not be read as 'QoS is fine'."""
+        sched = make_scheduler(StubPredictor())
+        alloc = sched.decide(make_nan_log(nan_latency=True))
+        assert alloc.sum() >= 4 * 2.0 - 1e-9
+        assert sched.mispredictions == 0  # NaN is not a violation either
+
+    def test_nan_cpu_util_counts_as_busy(self):
+        """A tier whose utilization reads NaN must not be reclaimed."""
+        sched = make_scheduler(StubPredictor())
+        log = make_log()
+        log.latest.cpu_util[0] = np.nan
+        alloc = sched.decide(log)
+        assert alloc[0] >= 2.0 - 1e-9  # unseen tier untouched
+
+    def test_nan_current_alloc_assumes_ceiling(self):
+        sched = make_scheduler(StubPredictor(prob_fn=lambda a: 0.99))
+        alloc = sched.decide(make_nan_log(nan_alloc=True))
+        assert np.all(np.isfinite(alloc))
+
+    def test_corrupt_interval_never_raises(self):
+        """Fully NaN telemetry must degrade, not crash the control loop."""
+        sched = make_scheduler(StubPredictor())
+        log = make_log()
+        for name in ("cpu_util", "rss_mb", "cache_mb", "rx_pps",
+                     "tx_pps", "latency_ms"):
+            getattr(log.latest, name)[:] = np.nan
+        alloc = sched.decide(log)
+        assert np.all(np.isfinite(alloc))
+
+
+class TestSafetyPathEndToEnd:
+    def test_violation_storm_exercises_full_safety_path(self):
+        """Recovery boost fires, mispredictions accumulate, trust flips,
+        and the untrusted scheduler stops reclaiming — in one episode."""
+        sched = make_scheduler(StubPredictor(), trust_threshold=3,
+                               recovery_boost=1.3)
+        boosts = 0
+        alloc = 2.0
+        for _ in range(8):  # alternating calm / unpredicted violation
+            sched.decide(make_log(p99=100.0, alloc=alloc))
+            before = sched.mispredictions
+            boosted = sched.decide(make_log(p99=400.0, alloc=alloc))
+            if sched.mispredictions > before:
+                boosts += 1
+                # The boost multiplies the current allocation (capped).
+                expected = min(alloc * 1.3 + 0.2, 8.0)
+                np.testing.assert_allclose(boosted, expected)
+        assert sched.mispredictions == boosts == 8
+        assert not sched.trusted  # past trust_threshold=3
+
+        # Untrusted: even a calm, model-approved interval cannot reclaim.
+        alloc_after = sched.decide(make_log(p99=50.0, alloc=4.0))
+        assert alloc_after.sum() >= 4 * 4.0 - 1e-9
+
+        # reset() restores trust and the reclamation path.
+        sched.reset()
+        assert sched.trusted
+        for _ in range(3):  # drain any EWMA/cooldown conservatism
+            reclaimed = sched.decide(make_log(p99=50.0, alloc=4.0))
+        assert reclaimed.sum() < 4 * 4.0
+
+
 class TestBookkeeping:
     def test_prediction_trace_records(self):
         sched = make_scheduler(StubPredictor())

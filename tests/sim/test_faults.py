@@ -1,0 +1,278 @@
+"""Fault-injection layer tests: schedules, corruption, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cluster import ClusterSimulator
+from repro.sim.faults import (
+    CORRUPTIBLE_CHANNELS,
+    FAULT_PROFILES,
+    FaultEvent,
+    FaultInjector,
+    FaultProfile,
+    LoadStormSpec,
+    ReplicaCrashSpec,
+    StragglerSpec,
+    TelemetryFaultSpec,
+    resolve_profile,
+)
+from repro.workload.generator import RequestMix, Workload
+from repro.workload.patterns import ConstantLoad
+from tests.conftest import make_tiny_graph
+from tests.sim.test_telemetry import make_stats
+
+
+def make_fault_cluster(profile, users=150, seed=0, fault_seed=None):
+    graph = make_tiny_graph()
+    workload = Workload(
+        graph, ConstantLoad(users), RequestMix.from_ratios({"Read": 9, "Write": 1})
+    )
+    injector = FaultInjector(
+        profile, graph.n_tiers, seed=seed if fault_seed is None else fault_seed
+    )
+    return ClusterSimulator(graph, workload, seed=seed, faults=injector)
+
+
+class TestProfiles:
+    def test_resolve_by_name(self):
+        profile = resolve_profile("crash-storm")
+        assert profile.name == "crash-storm"
+        assert resolve_profile(profile) is profile
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="crash-storm"):
+            resolve_profile("nope")
+
+    def test_builtin_profiles_well_formed(self):
+        for name, profile in FAULT_PROFILES.items():
+            assert profile.name == name
+            assert profile.specs
+            # Every profile must construct cleanly for any tier count.
+            FaultInjector(profile, n_tiers=4, seed=1)
+
+    def test_telemetry_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            TelemetryFaultSpec(drop_prob=0.5, nan_prob=0.6)
+
+    def test_spec_partition(self):
+        profile = FAULT_PROFILES["chaos"]
+        assert isinstance(profile.telemetry_spec, TelemetryFaultSpec)
+        kinds = {type(s) for s in profile.scheduled_specs}
+        assert kinds == {ReplicaCrashSpec, StragglerSpec, LoadStormSpec}
+
+
+class TestFaultEvent:
+    def test_active_window(self):
+        event = FaultEvent(kind="straggler", start=10.0, duration=5.0)
+        assert not event.active(9.9)
+        assert event.active(10.0)
+        assert event.active(14.9)
+        assert not event.active(15.0)
+
+    def test_affects_physics(self):
+        assert FaultEvent("replica_crash", 0, 1).affects_physics
+        assert FaultEvent("load_storm", 0, 1).affects_physics
+        assert not FaultEvent("telemetry_nan", 0, 1).affects_physics
+
+
+class TestScheduling:
+    def test_schedule_deterministic_across_resets(self):
+        injector = FaultInjector("chaos", n_tiers=4, seed=7)
+        first = list(injector.events)
+        injector.reset()
+        assert injector.events == first
+
+    def test_same_seed_same_schedule_new_instance(self):
+        a = FaultInjector("crash-storm", n_tiers=4, seed=3)
+        b = FaultInjector("crash-storm", n_tiers=4, seed=3)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector("crash-storm", n_tiers=4, seed=0)
+        b = FaultInjector("crash-storm", n_tiers=4, seed=1)
+        assert a.events != b.events
+
+    def test_events_sorted_and_within_horizon(self):
+        injector = FaultInjector("chaos", n_tiers=4, seed=5, horizon_s=600.0)
+        starts = [e.start for e in injector.events]
+        assert starts == sorted(starts)
+        assert all(0.0 <= s < 600.0 for s in starts)
+
+    def test_physics_events_until(self):
+        injector = FaultInjector("crash-storm", n_tiers=4, seed=2)
+        all_events = injector.physics_events()
+        early = injector.physics_events(until=100.0)
+        assert all(e.start < 100.0 for e in early)
+        assert len(early) <= len(all_events)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector("crash-storm", n_tiers=0)
+        with pytest.raises(ValueError):
+            FaultInjector("crash-storm", n_tiers=4, horizon_s=0.0)
+
+
+class TestPhysicsHooks:
+    def test_crash_shrinks_replica_multiplier(self):
+        injector = FaultInjector("crash-storm", n_tiers=4, seed=0)
+        injector.events = [
+            FaultEvent("replica_crash", start=5.0, duration=10.0,
+                       tier=2, magnitude=0.5)
+        ]
+        assert injector.replica_multiplier(0.0, 4) is None
+        mult = injector.replica_multiplier(6.0, 4)
+        np.testing.assert_allclose(mult, [1.0, 1.0, 0.5, 1.0])
+
+    def test_straggler_shrinks_capacity(self):
+        injector = FaultInjector("stragglers", n_tiers=4, seed=0)
+        injector.events = [
+            FaultEvent("straggler", start=0.0, duration=10.0,
+                       tier=1, magnitude=0.3)
+        ]
+        mult = injector.capacity_multiplier(1.0, 4)
+        np.testing.assert_allclose(mult, [1.0, 0.3, 1.0, 1.0])
+
+    def test_load_storm_multiplies(self):
+        injector = FaultInjector("load-storm", n_tiers=4, seed=0)
+        injector.events = [
+            FaultEvent("load_storm", start=0.0, duration=10.0, magnitude=2.0)
+        ]
+        assert injector.load_multiplier(5.0) == pytest.approx(2.0)
+        assert injector.load_multiplier(50.0) == pytest.approx(1.0)
+
+    def test_crash_degrades_engine_latency(self):
+        """Losing most replicas of every tier must hurt tail latency."""
+        def run(profile):
+            cluster = make_fault_cluster(profile, users=220, seed=0)
+            log = cluster.run(30)
+            return np.median(log.p99_series()[10:])
+
+        crash_all = FaultProfile(
+            name="crash-test",
+            description="test",
+            specs=(),
+        )
+        baseline = run(crash_all)
+        injector_profile = FaultProfile(
+            name="crash-test",
+            description="test",
+            specs=(ReplicaCrashSpec(rate_per_min=0.0),),
+        )
+        cluster = make_fault_cluster(injector_profile, users=220, seed=0)
+        cluster.faults.events = [
+            FaultEvent("replica_crash", start=5.0, duration=60.0,
+                       tier=t, magnitude=0.95)
+            for t in range(4)
+        ]
+        degraded = np.median(cluster.run(30).p99_series()[10:])
+        assert degraded > baseline * 3.0
+
+
+class TestTelemetryCorruption:
+    def _spec_injector(self, **probs):
+        profile = FaultProfile(
+            name="t", description="test",
+            specs=(TelemetryFaultSpec(**probs),),
+        )
+        return FaultInjector(profile, n_tiers=3, seed=0)
+
+    def test_drop_returns_none_and_counts(self):
+        injector = self._spec_injector(drop_prob=1.0)
+        assert injector.observe(make_stats()) is None
+        assert injector.dropped_intervals == 1
+        assert injector.corrupted_intervals == 0
+
+    def test_nan_corruption_hits_channels_not_truth(self):
+        injector = self._spec_injector(nan_prob=1.0, channel_frac=1.0)
+        truth = make_stats()
+        observed = injector.observe(truth)
+        for name in CORRUPTIBLE_CHANNELS:
+            assert np.isnan(getattr(observed, name)).all()
+            assert np.isfinite(getattr(truth, name)).all()
+        # cpu_alloc is the manager's own knob — never corrupted.
+        np.testing.assert_allclose(observed.cpu_alloc, truth.cpu_alloc)
+        assert injector.corrupted_intervals == 1
+
+    def test_stale_repeats_previous_observation(self):
+        injector = self._spec_injector(stale_prob=1.0)
+        first = make_stats(time=1.0, p99=100.0)
+        injector._last_observed = first
+        observed = injector.observe(make_stats(time=2.0, p99=300.0))
+        assert observed.time == 2.0
+        np.testing.assert_allclose(observed.latency_ms, first.latency_ms)
+
+    def test_reset_zeroes_counters(self):
+        injector = self._spec_injector(reset_prob=1.0)
+        observed = injector.observe(make_stats())
+        assert np.all(observed.cpu_util == 0.0)
+        assert np.all(observed.rx_pps == 0.0)
+        assert np.all(observed.tx_pps == 0.0)
+        # Memory footprints persist through a counter reset.
+        assert np.all(observed.rss_mb > 0.0)
+
+    def test_clean_profile_passes_through(self):
+        injector = FaultInjector("crash-storm", n_tiers=3, seed=0)
+        stats = make_stats()
+        assert injector.observe(stats) is stats
+
+    def test_telemetry_events_recorded(self):
+        injector = self._spec_injector(drop_prob=0.5, nan_prob=0.5)
+        for i in range(20):
+            injector.observe(make_stats(time=float(i)))
+        kinds = {e.kind for e in injector.telemetry_events}
+        assert kinds <= {"telemetry_drop", "telemetry_nan"}
+        assert len(injector.telemetry_events) == 20
+
+
+class TestClusterIntegration:
+    def test_observed_log_diverges_from_truth(self):
+        cluster = make_fault_cluster("telemetry-dropout", seed=0)
+        cluster.run(40)
+        assert len(cluster.telemetry) == 40
+        assert len(cluster.observed) == 40 - cluster.faults.dropped_intervals
+        assert cluster.faults.dropped_intervals > 0
+        assert cluster.faults.corrupted_intervals > 0
+        # Ground truth never carries the injected NaNs.
+        for stats in cluster.telemetry:
+            assert np.isfinite(stats.cpu_util).all()
+
+    def test_no_faults_shares_one_log(self):
+        graph = make_tiny_graph()
+        workload = Workload(
+            graph, ConstantLoad(100),
+            RequestMix.from_ratios({"Read": 9, "Write": 1}),
+        )
+        cluster = ClusterSimulator(graph, workload, seed=0)
+        cluster.run(3)
+        assert cluster.observed is cluster.telemetry
+
+    def test_tier_count_mismatch_rejected(self):
+        graph = make_tiny_graph()
+        workload = Workload(
+            graph, ConstantLoad(100),
+            RequestMix.from_ratios({"Read": 9, "Write": 1}),
+        )
+        injector = FaultInjector("crash-storm", n_tiers=7)
+        with pytest.raises(ValueError, match="tiers"):
+            ClusterSimulator(graph, workload, faults=injector)
+
+    def test_reset_restores_schedule_and_logs(self):
+        cluster = make_fault_cluster("chaos", seed=4)
+        events = list(cluster.faults.events)
+        first = cluster.run(25).p99_series()
+        first_observed = len(cluster.observed)
+        cluster.reset(seed=4)  # re-seed the engine for a replay
+        assert cluster.faults.events == events
+        assert len(cluster.telemetry) == 0
+        assert cluster.faults.dropped_intervals == 0
+        second = cluster.run(25).p99_series()
+        np.testing.assert_allclose(second, first)
+        assert len(cluster.observed) == first_observed
+
+    def test_identical_runs_bit_identical(self):
+        a = make_fault_cluster("chaos", seed=9)
+        b = make_fault_cluster("chaos", seed=9)
+        pa = a.run(25).p99_series()
+        pb = b.run(25).p99_series()
+        np.testing.assert_array_equal(pa, pb)
+        assert a.faults.dropped_intervals == b.faults.dropped_intervals

@@ -53,6 +53,16 @@ class TestTelemetryLog:
         with pytest.raises(IndexError):
             log.window(3)
 
+    def test_window_rejects_nonpositive_length(self):
+        """Regression: length <= 0 used to silently return the whole log
+        (Python's ``list[-0:]``), handing the encoder a wrong-size
+        window."""
+        log = TelemetryLog()
+        log.append(make_stats())
+        for length in (0, -1, -5):
+            with pytest.raises(ValueError, match="window length"):
+                log.window(length)
+
     def test_window_pads_with_oldest(self):
         log = TelemetryLog()
         log.append(make_stats(time=1.0, p99=10.0))

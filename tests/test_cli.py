@@ -40,6 +40,22 @@ class TestParser:
         assert _build_parser().parse_args(["train", "--jobs", "4"]).jobs == 4
         assert _build_parser().parse_args(["sweep", "--jobs", "0"]).jobs == 0
 
+    def test_run_fault_profile_choices(self):
+        args = _build_parser().parse_args(
+            ["run", "--fault-profile", "crash-storm"]
+        )
+        assert args.fault_profile == "crash-storm"
+        assert _build_parser().parse_args(["run"]).fault_profile is None
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["run", "--fault-profile", "nope"])
+
+    def test_resilience_defaults(self):
+        args = _build_parser().parse_args(["resilience"])
+        assert args.profiles == "crash-storm,telemetry-dropout"
+        assert args.managers == "sinan,autoscale-cons,static"
+        assert args.duration == 120
+        assert args.jobs is None
+
 
 class TestExecution:
     def test_run_autoscale_episode(self, capsys):
@@ -59,6 +75,28 @@ class TestExecution:
         ])
         assert code == 0
         assert "PowerChief" in capsys.readouterr().out
+
+    def test_run_with_fault_profile(self, capsys):
+        code = main([
+            "run", "--manager", "static", "--app", "social_network",
+            "--users", "150", "--duration", "25",
+            "--fault-profile", "telemetry-dropout",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults:" in out
+        assert "dropped" in out
+
+    def test_resilience_sweep(self, capsys):
+        code = main([
+            "resilience", "--app", "social_network",
+            "--profiles", "crash-storm", "--managers", "autoscale-cons,static",
+            "--users", "150", "--duration", "25",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Resilience under injected faults" in out
+        assert "crash-storm" in out
 
     def test_sweep_parallel_episodes(self, capsys):
         code = main([
