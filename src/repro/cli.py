@@ -7,7 +7,9 @@ Commands mirror the paper's workflow:
   (``--fault-profile`` injects crashes / stragglers / telemetry faults),
 * ``sweep``      — the Figure 11 protocol: managers x loads comparison,
 * ``resilience`` — fault profiles x managers sweep with recovery metrics,
-* ``explain``    — LIME-style tier/resource attribution for a model.
+* ``explain``    — LIME-style tier/resource attribution for a model,
+* ``bench``      — decision-path micro-benchmark (fast vs reference
+  scoring path), writing ``BENCH_decision.json``.
 """
 
 from __future__ import annotations
@@ -97,6 +99,23 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(explain)
     explain.add_argument("--tier", default=None,
                          help="also rank this tier's resource channels")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the per-decision scoring path"
+    )
+    _add_common(bench)
+    bench.add_argument("--candidates", default="16,64,128",
+                       help="comma-separated candidate batch sizes")
+    bench.add_argument("--window", type=int, default=5,
+                       help="telemetry window length (n_timesteps)")
+    bench.add_argument("--repeats", type=int, default=30,
+                       help="timing repetitions per measurement (min is kept)")
+    bench.add_argument("--trees", type=int, default=300,
+                       help="synthetic boosted-tree ensemble size")
+    bench.add_argument("--intervals", type=int, default=25,
+                       help="scheduler-replay decision intervals")
+    bench.add_argument("--output", default="BENCH_decision.json",
+                       help="result JSON path ('' to skip writing)")
     return parser
 
 
@@ -287,6 +306,36 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.harness.bench import BenchConfig, format_bench, run_bench
+    from repro.harness.pipeline import resolve_budget
+
+    counts = tuple(int(c) for c in args.candidates.split(",") if c.strip())
+    repeats, trees, intervals = args.repeats, args.trees, args.intervals
+    if resolve_budget(args.budget).name == "small":
+        # CI smoke: keep the run to a few seconds; equivalence checks
+        # still run at full strength, only the timing repeats shrink.
+        repeats = min(repeats, 8)
+        trees = min(trees, 150)
+        intervals = min(intervals, 10)
+    results = run_bench(BenchConfig(
+        app=args.app,
+        candidate_counts=counts,
+        n_timesteps=args.window,
+        repeats=repeats,
+        seed=args.seed,
+        n_trees=trees,
+        decision_intervals=intervals,
+        output=args.output,
+    ))
+    print(format_bench(results))
+    if args.output:
+        print(f"wrote {args.output}")
+    ok = all(r["bitwise_equal"] for r in results["components"])
+    ok = ok and results["scheduler"]["identical_traces"]
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     np.set_printoptions(precision=3, suppress=True)
@@ -300,6 +349,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "resilience": cmd_resilience,
         "explain": cmd_explain,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

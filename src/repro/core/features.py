@@ -20,7 +20,8 @@ target is what interval *i+1* measured, and the violation label looks
 
 from __future__ import annotations
 
-from dataclasses import replace
+import weakref
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -80,6 +81,46 @@ def sanitize_window(window: list[IntervalStats]) -> list[IntervalStats]:
     return cleaned if any_repaired else window
 
 
+def _ffill_time(arr: np.ndarray, axis: int) -> np.ndarray:
+    """Carry the last finite value forward along ``axis`` (0.0 before any).
+
+    Array-level twin of :func:`sanitize_window`: each non-finite element
+    becomes the most recent finite value of the same series earlier
+    along the time axis, or 0.0 when none exists.  Returns the input
+    unchanged (no copy) when everything is finite.
+    """
+    finite = np.isfinite(arr)
+    if finite.all():
+        return arr
+    moved = np.moveaxis(arr, axis, -1)
+    fin = np.moveaxis(finite, axis, -1)
+    idx = np.where(fin, np.arange(moved.shape[-1]), 0)
+    np.maximum.accumulate(idx, axis=-1, out=idx)
+    filled = np.take_along_axis(moved, idx, axis=-1)
+    seen = np.maximum.accumulate(fin, axis=-1)
+    out = np.where(seen, filled, 0.0)
+    return np.moveaxis(out, -1, axis)
+
+
+@dataclass
+class _HistoryCache:
+    """Raw (unsanitized) encoded window, keyed on the telemetry log head.
+
+    Consecutive ``decide()`` calls append one interval to the same
+    :class:`~repro.sim.telemetry.TelemetryLog`, so the next window is
+    the previous one shifted left by a single column.  The cache holds
+    the raw tensors of the last encode; a weak reference (plus the log
+    length) validates that the log is the same, still-growing episode.
+    Sanitization runs on the assembled tensors afterwards, so the repair
+    stays window-local exactly like the uncached path.
+    """
+
+    log_ref: weakref.ref
+    length: int
+    x_rh: np.ndarray  # (F, N, T) raw resource history
+    x_lh: np.ndarray  # (T, M) raw latency history
+
+
 class WindowEncoder:
     """Builds raw (unnormalized) model inputs from telemetry windows."""
 
@@ -88,6 +129,14 @@ class WindowEncoder:
             raise ValueError("n_timesteps must be >= 1")
         self.graph = graph
         self.n_timesteps = n_timesteps
+        self._cache: _HistoryCache | None = None
+
+    def __getstate__(self) -> dict:
+        # The per-decision cache holds a weakref (unpicklable) and is
+        # only valid for a live episode; serialized encoders start cold.
+        state = dict(self.__dict__)
+        state["_cache"] = None
+        return state
 
     @property
     def n_channels(self) -> int:
@@ -138,6 +187,59 @@ class WindowEncoder:
             np.asarray(candidates, dtype=float),
         )
 
+    def encode_candidates_shared(
+        self, log: TelemetryLog, candidates: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy twin of :meth:`encode_candidates`.
+
+        Returns ``(X_RH (1, F, N, T), X_LH (1, T, M), X_RC (B, N))``:
+        the shared history is encoded once (incrementally, via the
+        per-decision cache) instead of being replicated B times, and the
+        candidate matrix is passed through without broadcasting.  The
+        tensors hold exactly the values :meth:`encode_candidates` would
+        produce for each batch row.
+        """
+        cands = np.asarray(candidates, dtype=float)
+        if cands.ndim != 2 or cands.shape[1] != self.graph.n_tiers:
+            raise ValueError("candidates must have shape (B, n_tiers)")
+        x_rh, x_lh = self.encode_history(log)
+        return x_rh[None], x_lh[None], cands
+
+    def encode_history(self, log: TelemetryLog) -> tuple[np.ndarray, np.ndarray]:
+        """Sanitized history tensors ``(X_RH (F, N, T), X_LH (T, M))``.
+
+        Incremental: when called on the same (append-only) log as the
+        previous decision, only the newest interval is encoded and the
+        cached window is shifted by one column.  Any other log — or a
+        log still shorter than the window — is fully re-encoded.  The
+        returned arrays are owned by the cache and must not be mutated.
+        """
+        n = len(log)
+        t = self.n_timesteps
+        cache = getattr(self, "_cache", None)
+        raw_rh = raw_lh = None
+        if cache is not None and cache.log_ref() is log and n > t:
+            if n == cache.length:
+                raw_rh, raw_lh = cache.x_rh, cache.x_lh
+            elif n == cache.length + 1:
+                latest = log.latest
+                raw_rh = np.empty_like(cache.x_rh)
+                raw_rh[:, :, :-1] = cache.x_rh[:, :, 1:]
+                raw_rh[:, :, -1] = latest.resource_matrix()
+                raw_lh = np.empty_like(cache.x_lh)
+                raw_lh[:-1] = cache.x_lh[1:]
+                raw_lh[-1] = latest.latency_ms
+        if raw_rh is None:
+            window = log.window(t)
+            raw_rh = np.stack([s.resource_matrix() for s in window], axis=2)
+            raw_lh = np.stack(
+                [np.asarray(s.latency_ms, dtype=float) for s in window], axis=0
+            )
+        self._cache = _HistoryCache(
+            log_ref=weakref.ref(log), length=n, x_rh=raw_rh, x_lh=raw_lh
+        )
+        return _ffill_time(raw_rh, axis=2), _ffill_time(raw_lh, axis=0)
+
 
 def build_dataset(
     log: TelemetryLog,
@@ -163,26 +265,60 @@ def build_dataset(
     latency_series = np.array([qos.latency_of(s) for s in log])
     labels = qos.violation_labels(latency_series, horizon)
 
-    x_rh_list, x_lh_list, x_rc_list, y_lat_list, y_viol_list = [], [], [], [], []
-    for i in range(n_timesteps - 1, n - 1):
-        window = [log[j] for j in range(i - n_timesteps + 1, i + 1)]
-        nxt = log[i + 1]
-        x_rh, x_lh, x_rc = encoder.encode_window(window, nxt.cpu_alloc)
-        x_rh_list.append(x_rh)
-        x_lh_list.append(x_lh)
-        x_rc_list.append(x_rc)
-        y_lat_list.append(nxt.latency_ms)
-        y_viol_list.append(labels[i + 1])
+    # Encode each interval once, then cut the B overlapping training
+    # windows as strided views — O(n) instead of the O(n*T) per-sample
+    # restacking loop.  Telemetry needing sanitization (non-finite
+    # values, possible only under fault injection) takes the per-window
+    # reference path, whose carry-forward repair is window-local.
+    resources = np.stack([s.resource_matrix() for s in log])  # (n, F, N)
+    latencies = np.stack(
+        [np.asarray(s.latency_ms, dtype=float) for s in log]
+    )  # (n, M)
+    allocs = np.stack(
+        [np.asarray(s.cpu_alloc, dtype=float) for s in log]
+    )  # (n, N)
+    if allocs.shape[1] != graph.n_tiers:
+        raise ValueError("candidate_alloc has wrong shape")
+    if np.isfinite(resources).all() and np.isfinite(latencies).all():
+        rh_windows = np.lib.stride_tricks.sliding_window_view(
+            resources, n_timesteps, axis=0
+        )  # (n - T + 1, F, N, T)
+        lh_windows = np.lib.stride_tricks.sliding_window_view(
+            latencies, n_timesteps, axis=0
+        )  # (n - T + 1, M, T)
+        x_rh = np.ascontiguousarray(rh_windows[: n - n_timesteps])
+        x_lh = np.ascontiguousarray(
+            lh_windows[: n - n_timesteps].transpose(0, 2, 1)
+        )
+        x_rc = allocs[n_timesteps:]
+        y_lat = latencies[n_timesteps:]
+        y_viol = np.asarray(labels[n_timesteps:])
+    else:  # reference path: per-window encode with local sanitize
+        x_rh_list, x_lh_list, x_rc_list, y_lat_list, y_viol_list = [], [], [], [], []
+        for i in range(n_timesteps - 1, n - 1):
+            window = [log[j] for j in range(i - n_timesteps + 1, i + 1)]
+            nxt = log[i + 1]
+            s_rh, s_lh, s_rc = encoder.encode_window(window, nxt.cpu_alloc)
+            x_rh_list.append(s_rh)
+            x_lh_list.append(s_lh)
+            x_rc_list.append(s_rc)
+            y_lat_list.append(nxt.latency_ms)
+            y_viol_list.append(labels[i + 1])
+        x_rh = np.stack(x_rh_list)
+        x_lh = np.stack(x_lh_list)
+        x_rc = np.stack(x_rc_list)
+        y_lat = np.stack(y_lat_list)
+        y_viol = np.array(y_viol_list)
 
     base_meta = {"app": graph.name, "qos_ms": qos.latency_ms, "horizon": horizon}
     if meta:
         base_meta.update(meta)
     return SinanDataset(
-        X_RH=np.stack(x_rh_list),
-        X_LH=np.stack(x_lh_list),
-        X_RC=np.stack(x_rc_list),
-        y_lat=np.stack(y_lat_list),
-        y_viol=np.array(y_viol_list),
+        X_RH=x_rh,
+        X_LH=x_lh,
+        X_RC=x_rc,
+        y_lat=y_lat,
+        y_viol=y_viol,
         meta=base_meta,
     )
 

@@ -109,6 +109,10 @@ class HybridPredictor:
         )
         self.trees = BoostedTrees(self.config.trees, seed=seed)
         self.report: TrainingReport | None = None
+        # Online scoring path: True routes predict_candidates through the
+        # shared-trunk CNN + compiled trees (bit-identical to the
+        # reference path, see predict_candidates_reference).
+        self.fast_path = True
 
     # ------------------------------------------------------------------
     # Training
@@ -153,6 +157,13 @@ class HybridPredictor:
         delta = (x_rc - current) / self.normalizer.rc_scale
         util = x_rh[:, CPU_UTIL_CHANNEL, :, -1]
         lat = x_lh[:, -1, :] / self.qos.latency_ms
+        b = len(latent)
+        if len(util) != b:
+            # Shared-history fast path: one history row serves the whole
+            # candidate batch; broadcasting is a zero-copy view and the
+            # per-row values are bitwise those of an explicit tile.
+            util = np.broadcast_to(util, (b, util.shape[1]))
+            lat = np.broadcast_to(lat, (b, lat.shape[1]))
         return np.concatenate([latent, rc, delta, util, lat], axis=1)
 
     def _train_on_split(
@@ -252,9 +263,37 @@ class HybridPredictor:
     def predict_candidates(
         self, log: TelemetryLog, candidates: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Score candidate allocations against the live telemetry window."""
+        """Score candidate allocations against the live telemetry window.
+
+        Dispatches to the shared-trunk fast path unless ``fast_path`` is
+        False.  Both paths produce bitwise-identical latencies and
+        violation probabilities; the fast one encodes the telemetry
+        window once (zero-copy, incrementally cached) and runs the conv
+        trunk a single time per decision instead of once per candidate.
+        """
+        if not self.__dict__.get("fast_path", True):
+            return self.predict_candidates_reference(log, candidates)
+        x_rh, x_lh, x_rc = self.encoder.encode_candidates_shared(log, candidates)
+        rh, lh, rc = self._model_inputs(x_rh, x_lh, x_rc)
+        latency, latent = self.cnn.predict_candidates((rh, lh, rc))
+        prob = self.trees.predict_proba(
+            self._bt_features(latent, x_rh, x_lh, x_rc)
+        )
+        return latency, prob
+
+    def predict_candidates_reference(
+        self, log: TelemetryLog, candidates: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The pre-optimization scoring path, kept as equivalence oracle:
+        materializes B copies of the history window and runs the full
+        CNN batch plus the recursive tree walk."""
         x_rh, x_lh, x_rc = self.encoder.encode_candidates(log, candidates)
-        return self.predict_raw(x_rh, x_lh, x_rc)
+        inputs = self._model_inputs(x_rh, x_lh, x_rc)
+        latency, latent = self.cnn.predict_with_latent(inputs)
+        prob = self.trees.predict_proba_reference(
+            self._bt_features(latent, x_rh, x_lh, x_rc)
+        )
+        return latency, prob
 
     def evaluate(self, dataset: SinanDataset) -> dict[str, float]:
         """RMSE / classification quality on an arbitrary dataset."""
@@ -284,20 +323,55 @@ class HybridPredictor:
             raise RuntimeError("predictor is not trained")
         return self.report.p_down, self.report.p_up
 
+    #: On-disk serialization format.  Version 2 wraps the pickle in a
+    #: tagged envelope and carries predictors whose boosted trees are
+    #: compiled to arrays; bump when the stored state changes shape.
+    SAVE_FORMAT = 2
+
     def save(self, path) -> None:
-        """Serialize the trained predictor (weights, trees, normalizer)."""
+        """Serialize the trained predictor (weights, trees, normalizer).
+
+        The pickle is wrapped in a ``{"format", "kind", "predictor"}``
+        envelope so :meth:`load` can give a precise error when handed a
+        file written by an incompatible version instead of failing
+        deep inside an attribute access later."""
         import pickle
 
+        payload = {
+            "format": self.SAVE_FORMAT,
+            "kind": "repro.HybridPredictor",
+            "predictor": self,
+        }
         with open(path, "wb") as fh:
-            pickle.dump(self, fh)
+            pickle.dump(payload, fh)
 
     @staticmethod
     def load(path) -> "HybridPredictor":
-        """Load a predictor previously stored with :meth:`save`."""
+        """Load a predictor previously stored with :meth:`save`.
+
+        Raises ``ValueError`` for a version-tagged file with the wrong
+        format number (or a pre-versioning raw pickle) and ``TypeError``
+        for files that are not predictor checkpoints at all."""
         import pickle
 
         with open(path, "rb") as fh:
-            predictor = pickle.load(fh)
+            payload = pickle.load(fh)
+        if isinstance(payload, HybridPredictor):
+            raise ValueError(
+                f"{path!r} is a pre-versioning predictor checkpoint "
+                f"(format 1); re-train and re-save with this version "
+                f"(format {HybridPredictor.SAVE_FORMAT})"
+            )
+        if not isinstance(payload, dict) or payload.get("kind") != "repro.HybridPredictor":
+            raise TypeError(f"{path!r} does not contain a HybridPredictor")
+        fmt = payload.get("format")
+        if fmt != HybridPredictor.SAVE_FORMAT:
+            raise ValueError(
+                f"{path!r} uses predictor save format {fmt}, but this "
+                f"version reads format {HybridPredictor.SAVE_FORMAT}; "
+                f"re-train and re-save the predictor"
+            )
+        predictor = payload["predictor"]
         if not isinstance(predictor, HybridPredictor):
             raise TypeError(f"{path!r} does not contain a HybridPredictor")
         return predictor

@@ -122,6 +122,13 @@ class OnlineScheduler(Manager):
         return self.mispredictions <= self.config.trust_threshold
 
     def decide(self, log: TelemetryLog) -> np.ndarray | None:
+        """One control decision: score the candidate set, pick an action.
+
+        Candidate scoring goes through
+        :meth:`HybridPredictor.predict_candidates`, which by default uses
+        the shared-trunk fast path — bit-identical to the reference path,
+        so decision traces do not depend on the ``fast_path`` toggle.
+        """
         if len(log) == 0:
             return None
         latest = log.latest

@@ -1,0 +1,335 @@
+"""Decision-path micro-benchmark: fast path vs reference path.
+
+Times the per-decision scoring pipeline — candidate encoding, CNN
+inference, Boosted-Trees inference, and the end-to-end
+``predict_candidates`` call — across candidate counts, comparing the
+shared-trunk fast path against the pre-optimization reference path and
+asserting the two are *bitwise* equivalent.  A final section replays a
+short scheduler episode twice (fast path on and off) and checks the
+decision traces are identical.
+
+The models are synthetic (random CNN weights, randomly grown trees):
+the benchmark measures inference mechanics, which do not depend on the
+weights being trained, so it stays fast enough for a CI smoke job while
+exercising production-sized models (full ``CNNConfig``, hundreds of
+trees).  Run it via ``repro bench``; results land in
+``BENCH_decision.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.actions import ActionSpace
+from repro.core.predictor import HybridPredictor, PredictorConfig, TrainingReport
+from repro.core.scheduler import OnlineScheduler
+from repro.harness.pipeline import app_spec, make_cluster
+from repro.ml.boosted_trees import _compile_trees, _Node
+from repro.ml.dataset import SinanDataset
+from repro.ml.network import FitResult
+from repro.sim.telemetry import TelemetryLog
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs of one ``repro bench`` invocation."""
+
+    app: str = "social_network"
+    candidate_counts: tuple[int, ...] = (16, 64, 128)
+    n_timesteps: int = 5
+    repeats: int = 30
+    seed: int = 0
+    n_trees: int = 300
+    tree_depth: int = 6
+    decision_intervals: int = 25
+    output: str = "BENCH_decision.json"
+
+
+@dataclass
+class _Timed:
+    """Min-over-repeats wall time of fast and reference variants."""
+
+    fast_ms: float
+    reference_ms: float
+    speedup: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.speedup = self.reference_ms / self.fast_ms if self.fast_ms else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "fast_ms": round(self.fast_ms, 4),
+            "reference_ms": round(self.reference_ms, 4),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def _time_ms(fn, repeats: int) -> float:
+    fn()  # warm caches (einsum paths, compiled trees) outside the timing
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def _grow_tree(rng: np.random.Generator, n_features: int, depth: int) -> _Node:
+    """A random decision tree over standard-normal features."""
+    if depth == 0:
+        return _Node(value=float(rng.normal(0.0, 0.05)))
+    return _Node(
+        feature=int(rng.integers(n_features)),
+        threshold=float(rng.normal(0.0, 0.7)),
+        left=_grow_tree(rng, n_features, depth - 1),
+        right=_grow_tree(rng, n_features, depth - 1),
+    )
+
+
+def make_synthetic_predictor(config: BenchConfig) -> HybridPredictor:
+    """A production-sized predictor with fabricated weights.
+
+    Fitting 300+ trees takes minutes; growing random ones takes
+    milliseconds and exercises exactly the same inference code.  The
+    normalizer is fitted on a small random dataset and the training
+    report is stubbed so the scheduler's ``thresholds``/``rmse_val``
+    accessors work.
+    """
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    rng = np.random.default_rng(config.seed)
+    predictor = HybridPredictor(
+        graph,
+        spec.qos,
+        PredictorConfig(n_timesteps=config.n_timesteps),
+        seed=config.seed,
+    )
+
+    n, f, t = graph.n_tiers, predictor.encoder.n_channels, config.n_timesteps
+    m = predictor.cnn.n_percentiles
+    calib = SinanDataset(
+        X_RH=np.abs(rng.normal(2.0, 1.0, (64, f, n, t))),
+        X_LH=np.abs(rng.normal(spec.qos.latency_ms / 2, 20.0, (64, t, m))),
+        X_RC=np.abs(rng.normal(2.0, 0.5, (64, n))),
+        y_lat=np.abs(rng.normal(spec.qos.latency_ms / 2, 20.0, (64, m))),
+        y_viol=rng.integers(0, 2, 64).astype(float),
+        meta={},
+    )
+    predictor.normalizer.fit(calib)
+
+    n_bt_features = predictor.cnn.config.latent_dim + 3 * n + m
+    predictor.trees.trees = [
+        _grow_tree(rng, n_bt_features, config.tree_depth)
+        for _ in range(config.n_trees)
+    ]
+    predictor.trees.base_margin = -1.0
+    predictor.trees._compiled = _compile_trees(predictor.trees.trees)
+
+    predictor.report = TrainingReport(
+        cnn_fit=FitResult(),
+        rmse_train=8.0,
+        rmse_val=10.0,
+        bt_accuracy_train=0.95,
+        bt_accuracy_val=0.93,
+        bt_trees=config.n_trees,
+        bt_false_pos_val=0.05,
+        bt_false_neg_val=0.01,
+        p_up=0.08,
+        p_down=0.02,
+        n_train=1000,
+        n_val=100,
+    )
+    return predictor
+
+
+def make_bench_log(config: BenchConfig, intervals: int | None = None) -> TelemetryLog:
+    """A telemetry log recorded from a short managed-by-nobody episode."""
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    lo, hi = spec.collection_load_range
+    cluster = make_cluster(graph, users=(lo + hi) / 2, seed=config.seed)
+    rng = np.random.default_rng(config.seed + 1)
+    for _ in range(intervals or (config.n_timesteps + 20)):
+        jitter = rng.uniform(-0.2, 0.2, cluster.n_tiers)
+        cluster.step(cluster.clip_alloc(cluster.current_alloc + jitter))
+    return cluster.telemetry
+
+
+def _candidate_batch(
+    log: TelemetryLog, n_tiers: int, b: int, rng: np.random.Generator
+) -> np.ndarray:
+    base = np.asarray(log.latest.cpu_alloc, dtype=float)
+    return np.clip(base + rng.uniform(-1.0, 1.0, (b, n_tiers)), 0.2, None)
+
+
+def bench_components(
+    predictor: HybridPredictor, log: TelemetryLog, b: int, config: BenchConfig
+) -> dict:
+    """Per-stage and end-to-end timings for one candidate count."""
+    rng = np.random.default_rng(config.seed + b)
+    cands = _candidate_batch(log, predictor.graph.n_tiers, b, rng)
+    repeats = config.repeats
+    ref_repeats = max(repeats // 4, 3)
+
+    encoder = predictor.encoder
+    encode = _Timed(
+        _time_ms(lambda: encoder.encode_candidates_shared(log, cands), repeats),
+        _time_ms(lambda: encoder.encode_candidates(log, cands), ref_repeats),
+    )
+
+    x_rh1, x_lh1, x_rc = encoder.encode_candidates_shared(log, cands)
+    in_fast = predictor._model_inputs(x_rh1, x_lh1, x_rc)
+    x_rhb, x_lhb, _ = encoder.encode_candidates(log, cands)
+    in_ref = predictor._model_inputs(x_rhb, x_lhb, x_rc)
+    cnn = _Timed(
+        _time_ms(lambda: predictor.cnn.predict_candidates(in_fast), repeats),
+        _time_ms(lambda: predictor.cnn.predict_with_latent(in_ref), ref_repeats),
+    )
+
+    _, latent = predictor.cnn.predict_candidates(in_fast)
+    bt_in = predictor._bt_features(latent, x_rh1, x_lh1, x_rc)
+    trees = _Timed(
+        _time_ms(lambda: predictor.trees.predict_proba(bt_in), repeats),
+        _time_ms(lambda: predictor.trees.predict_proba_reference(bt_in), ref_repeats),
+    )
+
+    total = _Timed(
+        _time_ms(lambda: predictor.predict_candidates(log, cands), repeats),
+        _time_ms(lambda: predictor.predict_candidates_reference(log, cands), ref_repeats),
+    )
+
+    lat_fast, prob_fast = predictor.predict_candidates(log, cands)
+    lat_ref, prob_ref = predictor.predict_candidates_reference(log, cands)
+    equal = bool(
+        np.array_equal(lat_fast, lat_ref) and np.array_equal(prob_fast, prob_ref)
+    )
+
+    return {
+        "candidates": b,
+        "encode": encode.as_dict(),
+        "cnn": cnn.as_dict(),
+        "trees": trees.as_dict(),
+        "total": total.as_dict(),
+        "bitwise_equal": equal,
+    }
+
+
+def bench_scheduler(predictor: HybridPredictor, config: BenchConfig) -> dict:
+    """Replay one managed episode with the fast path on and off.
+
+    Decisions feed back into the simulator, so a single diverging
+    decision would diverge every subsequent interval — trace equality is
+    a strong end-to-end check.
+    """
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    lo, hi = spec.collection_load_range
+
+    def run(fast: bool) -> tuple[list[np.ndarray], float]:
+        cluster = make_cluster(graph, users=(lo + hi) / 2, seed=config.seed + 7)
+        space = ActionSpace(graph.min_alloc(), graph.max_alloc())
+        scheduler = OnlineScheduler(predictor, space, spec.qos)
+        predictor.fast_path = fast
+        predictor.encoder._cache = None
+        trace: list[np.ndarray] = []
+        spent = 0.0
+        for _ in range(config.decision_intervals):
+            cluster.step(cluster.current_alloc)
+            t0 = time.perf_counter()
+            alloc = scheduler.decide(cluster.observed)
+            spent += time.perf_counter() - t0
+            if alloc is not None:
+                cluster.step(alloc)
+                trace.append(np.asarray(alloc, dtype=float))
+        return trace, spent * 1e3 / max(config.decision_intervals, 1)
+
+    try:
+        trace_fast, ms_fast = run(fast=True)
+        trace_ref, ms_ref = run(fast=False)
+    finally:
+        predictor.fast_path = True
+
+    identical = len(trace_fast) == len(trace_ref) and all(
+        np.array_equal(a, b) for a, b in zip(trace_fast, trace_ref)
+    )
+    return {
+        "decisions": len(trace_fast),
+        "identical_traces": bool(identical),
+        "fast_ms_per_decision": round(ms_fast, 3),
+        "reference_ms_per_decision": round(ms_ref, 3),
+        "speedup": round(ms_ref / ms_fast, 2) if ms_fast else 0.0,
+    }
+
+
+def run_bench(config: BenchConfig | None = None) -> dict:
+    """Run the full benchmark and return (and optionally write) results."""
+    config = config or BenchConfig()
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    predictor = make_synthetic_predictor(config)
+    log = make_bench_log(config)
+
+    results = {
+        "benchmark": "decision-path",
+        "app": config.app,
+        "n_tiers": graph.n_tiers,
+        "window": config.n_timesteps,
+        "n_trees": config.n_trees,
+        "seed": config.seed,
+        "repeats": config.repeats,
+        "components": [
+            bench_components(predictor, log, b, config)
+            for b in config.candidate_counts
+        ],
+        "scheduler": bench_scheduler(predictor, config),
+    }
+    if config.output:
+        Path(config.output).write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def format_bench(results: dict) -> str:
+    """Human-readable table of one ``run_bench`` result."""
+    lines = [
+        f"decision-path benchmark — {results['app']} "
+        f"({results['n_tiers']} tiers, window {results['window']}, "
+        f"{results['n_trees']} trees)",
+        f"{'B':>5} {'encode':>8} {'cnn':>8} {'trees':>8} "
+        f"{'total fast':>11} {'total ref':>10} {'speedup':>8} {'equal':>6}",
+    ]
+    for row in results["components"]:
+        lines.append(
+            f"{row['candidates']:>5} "
+            f"{row['encode']['speedup']:>7.1f}x "
+            f"{row['cnn']['speedup']:>7.1f}x "
+            f"{row['trees']['speedup']:>7.1f}x "
+            f"{row['total']['fast_ms']:>9.2f}ms "
+            f"{row['total']['reference_ms']:>8.2f}ms "
+            f"{row['total']['speedup']:>7.1f}x "
+            f"{'yes' if row['bitwise_equal'] else 'NO':>6}"
+        )
+    sched = results["scheduler"]
+    lines.append(
+        f"scheduler: {sched['decisions']} decisions, "
+        f"{sched['fast_ms_per_decision']:.2f}ms/decision fast vs "
+        f"{sched['reference_ms_per_decision']:.2f}ms reference "
+        f"({sched['speedup']:.1f}x), traces "
+        + ("identical" if sched["identical_traces"] else "DIVERGED")
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BenchConfig",
+    "run_bench",
+    "format_bench",
+    "make_synthetic_predictor",
+    "make_bench_log",
+    "bench_components",
+    "bench_scheduler",
+]

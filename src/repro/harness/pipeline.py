@@ -77,7 +77,10 @@ logger = logging.getLogger(__name__)
 # v6: collection episodes are independently seeded (seed + i) per load
 # level so serial and parallel collection are bit-identical; previously
 # one bandit instance carried state across load levels.
-_CACHE_VERSION = 6
+# v7: predictor checkpoints use the tagged save format (SAVE_FORMAT=2)
+# and carry compiled boosted trees + fast-path state; older cache files
+# would fail HybridPredictor.load's format check.
+_CACHE_VERSION = 7
 
 
 @dataclass(frozen=True)

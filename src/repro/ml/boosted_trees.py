@@ -11,6 +11,16 @@ As in the paper, the model sums per-tree scores; the violation
 probability is the logistic of the accumulated margin
 (``p_V = e^{s_V} / (e^{s_V} + e^{s_{NV}})`` in the paper's two-score
 formulation, equivalent to a sigmoid over the margin difference).
+
+Inference is *compiled*: after ``fit`` the recursive node objects are
+flattened into feature / threshold / child-index / leaf-value arrays and
+``predict_margin`` walks all rows through all trees with vectorized
+numpy gathers — no Python recursion on the predict path, which sits
+inside every scheduler decision.  The flattened traversal performs the
+same comparisons and accumulates leaf values tree-by-tree in the same
+order, so its output is bit-identical to the recursive reference
+(:meth:`BoostedTrees.predict_margin_reference`, kept for the
+equivalence suite and ``repro bench``).
 """
 
 from __future__ import annotations
@@ -49,6 +59,64 @@ class _Node:
         return self.feature < 0
 
 
+@dataclass(frozen=True)
+class _CompiledEnsemble:
+    """Fitted trees flattened into arrays for vectorized traversal.
+
+    Node ``i`` is internal iff ``feature[i] >= 0``; its children are
+    ``left[i]`` / ``right[i]`` (indices into the same arrays).  Leaves
+    carry their weight in ``value[i]``.  ``roots[t]`` is tree *t*'s root
+    node and ``max_depth`` bounds the traversal loop.
+    """
+
+    feature: np.ndarray  # (n_nodes,) int32, -1 for leaves
+    threshold: np.ndarray  # (n_nodes,) float64
+    left: np.ndarray  # (n_nodes,) int32
+    right: np.ndarray  # (n_nodes,) int32
+    value: np.ndarray  # (n_nodes,) float64
+    roots: np.ndarray  # (n_trees,) int32
+    max_depth: int
+
+
+def _compile_trees(trees: list[_Node]) -> _CompiledEnsemble | None:
+    """Flatten recursive ``_Node`` trees into a :class:`_CompiledEnsemble`."""
+    if not trees:
+        return None
+    feature: list[int] = []
+    threshold: list[float] = []
+    left: list[int] = []
+    right: list[int] = []
+    value: list[float] = []
+    roots: list[int] = []
+    max_depth = 0
+
+    def emit(node: _Node, depth: int) -> int:
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        idx = len(feature)
+        feature.append(node.feature)
+        threshold.append(node.threshold)
+        left.append(-1)
+        right.append(-1)
+        value.append(node.value)
+        if not node.is_leaf:
+            left[idx] = emit(node.left, depth + 1)
+            right[idx] = emit(node.right, depth + 1)
+        return idx
+
+    for tree in trees:
+        roots.append(emit(tree, 0))
+    return _CompiledEnsemble(
+        feature=np.asarray(feature, dtype=np.int32),
+        threshold=np.asarray(threshold, dtype=np.float64),
+        left=np.asarray(left, dtype=np.int32),
+        right=np.asarray(right, dtype=np.int32),
+        value=np.asarray(value, dtype=np.float64),
+        roots=np.asarray(roots, dtype=np.int32),
+        max_depth=max_depth,
+    )
+
+
 class BoostedTrees:
     """Binary classifier: boosted regression trees on logistic loss."""
 
@@ -57,6 +125,7 @@ class BoostedTrees:
         self._rng = np.random.default_rng(seed)
         self.trees: list[_Node] = []
         self.base_margin = 0.0
+        self._compiled: _CompiledEnsemble | None = None
         self._bin_edges: list[np.ndarray] | None = None
         self.train_accuracy = float("nan")
         self.val_accuracy = float("nan")
@@ -81,12 +150,14 @@ class BoostedTrees:
             # Degenerate training set: constant prediction.
             self.base_margin = _logit(np.clip(y.mean(), 1e-6, 1 - 1e-6))
             self.trees = []
+            self._compiled = None
             self.train_accuracy = accuracy(self.predict(X), y)
             if X_val is not None and y_val is not None:
                 self.val_accuracy = accuracy(self.predict(X_val), y_val)
             return self
 
         cfg = self.config
+        self._compiled = None
         self._bin_edges = self._make_bins(X)
         bins = self._binize(X)
 
@@ -125,23 +196,47 @@ class BoostedTrees:
 
         if val_margin is not None and best_n:
             self.trees = self.trees[:best_n]
+        self._compiled = _compile_trees(self.trees)
         self.train_accuracy = accuracy(self.predict(X), y)
         if X_val is not None and y_val is not None:
             self.val_accuracy = accuracy(self.predict(X_val), y_val)
         return self
 
     def _make_bins(self, X: np.ndarray) -> list[np.ndarray]:
-        edges = []
         qs = np.linspace(0, 100, self.config.n_bins + 1)[1:-1]
-        for f in range(X.shape[1]):
-            cuts = np.unique(np.percentile(X[:, f], qs))
-            edges.append(cuts)
-        return edges
+        # One percentile pass over the whole matrix; only the (cheap,
+        # ragged) dedup still loops over features.
+        cuts = np.percentile(X, qs, axis=0)  # (Q, D)
+        return [np.unique(cuts[:, f]) for f in range(X.shape[1])]
 
     def _binize(self, X: np.ndarray) -> np.ndarray:
-        out = np.empty(X.shape, dtype=np.int32)
+        """Bin indices per element, matching ``searchsorted(side='right')``.
+
+        One broadcast comparison pass per (row-chunked) matrix instead of
+        a Python loop over features: bin = #edges <= x, evaluated as a
+        (rows, features, edges) boolean reduction against the edge table
+        padded with ``+inf``.
+        """
+        n, d = X.shape
+        k = max((len(cuts) for cuts in self._bin_edges), default=0)
+        if k == 0:
+            return np.zeros(X.shape, dtype=np.int32)
+        edges = np.full((d, k), np.inf)
         for f, cuts in enumerate(self._bin_edges):
-            out[:, f] = np.searchsorted(cuts, X[:, f], side="right")
+            edges[f, : len(cuts)] = cuts
+        counts = np.array([len(cuts) for cuts in self._bin_edges], dtype=np.int32)
+        out = np.empty(X.shape, dtype=np.int32)
+        # Chunk rows so the boolean intermediate stays ~32 MB.
+        chunk = max(1, (1 << 25) // max(d * k, 1))
+        for start in range(0, n, chunk):
+            block = X[start : start + chunk]
+            binned = (edges[None, :, :] <= block[:, :, None]).sum(
+                axis=2, dtype=np.int32
+            )
+            nan = np.isnan(block)
+            if nan.any():  # searchsorted sorts NaN above every edge
+                binned[nan] = np.broadcast_to(counts, block.shape)[nan]
+            out[start : start + chunk] = binned
         return out
 
     def _build_tree(self, bins: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> _Node:
@@ -220,8 +315,47 @@ class BoostedTrees:
         walk(tree, np.arange(len(X)))
         return out
 
+    def _ensure_compiled(self) -> _CompiledEnsemble | None:
+        """The flattened ensemble, built lazily for unpickled models."""
+        compiled = self.__dict__.get("_compiled")
+        if compiled is None and self.trees:
+            compiled = _compile_trees(self.trees)
+            self._compiled = compiled
+        return compiled
+
     def predict_margin(self, X: np.ndarray) -> np.ndarray:
-        """Accumulated score (the paper's s_V - s_NV margin)."""
+        """Accumulated score (the paper's s_V - s_NV margin).
+
+        Runs on the compiled array representation: every row descends
+        all trees simultaneously via index gathers, one loop iteration
+        per tree level.  Bit-identical to
+        :meth:`predict_margin_reference` (same comparisons; leaf values
+        accumulated tree-by-tree in the same order).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        compiled = self._ensure_compiled()
+        if compiled is None:
+            return np.full(len(X), self.base_margin)
+        n = len(X)
+        idx = np.broadcast_to(compiled.roots, (n, len(compiled.roots))).copy()
+        rows = np.arange(n)[:, None]
+        for _ in range(compiled.max_depth):
+            feat = compiled.feature[idx]
+            internal = feat >= 0
+            if not internal.any():
+                break
+            xv = X[rows, np.where(internal, feat, 0)]
+            go_left = xv <= compiled.threshold[idx]
+            step = np.where(go_left, compiled.left[idx], compiled.right[idx])
+            idx = np.where(internal, step, idx)
+        leaf_values = compiled.value[idx]  # (n, n_trees)
+        margin = np.full(n, self.base_margin)
+        for t in range(leaf_values.shape[1]):  # per-tree order, see docstring
+            margin += leaf_values[:, t]
+        return margin
+
+    def predict_margin_reference(self, X: np.ndarray) -> np.ndarray:
+        """The slow path: per-tree recursive walks (equivalence oracle)."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         margin = np.full(len(X), self.base_margin)
         for tree in self.trees:
@@ -231,6 +365,10 @@ class BoostedTrees:
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Probability of a QoS violation within the horizon, p_V."""
         return _sigmoid(self.predict_margin(X))
+
+    def predict_proba_reference(self, X: np.ndarray) -> np.ndarray:
+        """p_V via the recursive per-tree walk (equivalence oracle)."""
+        return _sigmoid(self.predict_margin_reference(X))
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         return (self.predict_proba(X) >= threshold).astype(float)

@@ -121,6 +121,7 @@ class Conv2D(Layer):
         self.kernel = kernel
         self.in_ch = in_ch
         self.out_ch = out_ch
+        self._fwd_path: tuple[tuple, list] | None = None
 
     def params(self) -> list[np.ndarray]:
         return [self.W, self.b]
@@ -139,7 +140,17 @@ class Conv2D(Layer):
         self._windows = np.lib.stride_tricks.sliding_window_view(
             xp, (self.kernel, self.kernel), axis=(2, 3)
         )
-        out = np.einsum("bchwij,cijo->bhwo", self._windows, self.W, optimize=True)
+        # The greedy contraction-path search is a per-call cost worth
+        # skipping on the decision hot path: memoize it per input shape.
+        cached = self.__dict__.get("_fwd_path")
+        if cached is None or cached[0] != self._windows.shape:
+            path = np.einsum_path(
+                "bchwij,cijo->bhwo", self._windows, self.W, optimize=True
+            )[0]
+            self._fwd_path = cached = (self._windows.shape, path)
+        out = np.einsum(
+            "bchwij,cijo->bhwo", self._windows, self.W, optimize=cached[1]
+        )
         out += self.b
         return out.transpose(0, 3, 1, 2)
 

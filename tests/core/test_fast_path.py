@@ -1,0 +1,222 @@
+"""Fast decision path vs reference path: bitwise-equivalence suite.
+
+The shared-trunk CNN inference, compiled boosted trees, and zero-copy
+candidate encoding are only shippable because they change nothing but
+wall-clock time.  These tests pin that down at every level: encoder
+tensors, predictor outputs, and full scheduler decision traces — on
+clean telemetry and under the PR 2 fault profiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.data_collection import (
+    BanditExplorer,
+    CollectionConfig,
+    DataCollector,
+)
+from repro.core.actions import ActionSpace
+from repro.core.features import WindowEncoder, _ffill_time, sanitize_window
+from repro.core.predictor import HybridPredictor, PredictorConfig
+from repro.core.qos import QoSTarget
+from repro.core.scheduler import OnlineScheduler
+from repro.ml.cnn import CNNConfig
+from repro.sim.cluster import ClusterSimulator
+from repro.sim.faults import FaultInjector, resolve_profile
+from repro.workload.generator import RequestMix, Workload
+from repro.workload.patterns import ConstantLoad
+from tests.conftest import make_tiny_cluster, make_tiny_graph
+from tests.sim.test_telemetry import make_stats
+
+QOS = QoSTarget(200.0)
+FAST = PredictorConfig(
+    epochs=20,
+    batch_size=64,
+    cnn=CNNConfig(conv_channels=(4,), rh_embed=16, lh_embed=8, rc_embed=8, latent_dim=16),
+)
+
+
+def make_faulty_cluster(users: float, seed: int, profile: str) -> ClusterSimulator:
+    graph = make_tiny_graph()
+    mix = RequestMix.from_ratios({"Read": 9, "Write": 1})
+    workload = Workload(graph, ConstantLoad(users), mix)
+    faults = FaultInjector(resolve_profile(profile), graph.n_tiers, seed=seed)
+    return ClusterSimulator(graph, workload, seed=seed, faults=faults)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    config = CollectionConfig(qos=QOS)
+    collector = DataCollector(
+        lambda users, seed: make_tiny_cluster(users, seed), config
+    )
+    result = collector.collect(
+        BanditExplorer(config, seed=0), loads=[60, 160, 280], seconds_per_load=80
+    )
+    predictor = HybridPredictor(make_tiny_graph(), QOS, FAST, seed=0)
+    predictor.train(result.dataset)
+    return predictor
+
+
+@pytest.fixture()
+def recorded_log(rng):
+    cluster = make_tiny_cluster(users=150, seed=9)
+    for _ in range(12):
+        jitter = rng.uniform(-0.2, 0.2, cluster.n_tiers)
+        cluster.step(cluster.clip_alloc(cluster.current_alloc + jitter))
+    return cluster.telemetry
+
+
+def candidate_batch(log, n_tiers, b, rng):
+    base = np.asarray(log.latest.cpu_alloc, dtype=float)
+    return np.clip(base + rng.uniform(-1.0, 1.0, (b, n_tiers)), 0.2, 8.0)
+
+
+class TestEncoderEquivalence:
+    def test_shared_matches_reference(self, recorded_log, rng):
+        graph = make_tiny_graph()
+        cands = candidate_batch(recorded_log, graph.n_tiers, 8, rng)
+        ref_rh, ref_lh, ref_rc = WindowEncoder(graph, 5).encode_candidates(
+            recorded_log, cands
+        )
+        x_rh, x_lh, x_rc = WindowEncoder(graph, 5).encode_candidates_shared(
+            recorded_log, cands
+        )
+        assert x_rh.shape[0] == 1 and x_lh.shape[0] == 1
+        assert np.array_equal(np.broadcast_to(x_rh, ref_rh.shape), ref_rh)
+        assert np.array_equal(np.broadcast_to(x_lh, ref_lh.shape), ref_lh)
+        assert np.array_equal(x_rc, ref_rc)
+
+    def test_shared_matches_reference_with_nans(self, recorded_log, rng):
+        graph = make_tiny_graph()
+        # Corrupt telemetry in place: sanitize_window must repair both
+        # paths identically.
+        recorded_log.latest.cpu_util[:] = np.nan
+        recorded_log[len(recorded_log) - 3].latency_ms[1] = np.inf
+        cands = candidate_batch(recorded_log, graph.n_tiers, 8, rng)
+        ref = WindowEncoder(graph, 5).encode_candidates(recorded_log, cands)
+        fast = WindowEncoder(graph, 5).encode_candidates_shared(recorded_log, cands)
+        assert np.array_equal(np.broadcast_to(fast[0], ref[0].shape), ref[0])
+        assert np.array_equal(np.broadcast_to(fast[1], ref[1].shape), ref[1])
+        assert np.isfinite(fast[0]).all() and np.isfinite(fast[1]).all()
+
+    def test_incremental_cache_matches_fresh(self, rng):
+        """The shift-by-one cache path equals a cold full rebuild."""
+        graph = make_tiny_graph()
+        cluster = make_tiny_cluster(users=120, seed=4)
+        encoder = WindowEncoder(graph, 5)
+        for _ in range(10):
+            jitter = rng.uniform(-0.2, 0.2, cluster.n_tiers)
+            cluster.step(cluster.clip_alloc(cluster.current_alloc + jitter))
+            cached = encoder.encode_history(cluster.telemetry)
+            fresh = WindowEncoder(graph, 5).encode_history(cluster.telemetry)
+            assert np.array_equal(cached[0], fresh[0])
+            assert np.array_equal(cached[1], fresh[1])
+
+    def test_cache_invalidated_on_different_log(self, rng):
+        """Switching episodes mid-life never leaks stale windows."""
+        graph = make_tiny_graph()
+        encoder = WindowEncoder(graph, 5)
+        for seed in (1, 2):
+            cluster = make_tiny_cluster(users=100, seed=seed)
+            cluster.run(8)
+            got = encoder.encode_history(cluster.telemetry)
+            want = WindowEncoder(graph, 5).encode_history(cluster.telemetry)
+            assert np.array_equal(got[0], want[0])
+            assert np.array_equal(got[1], want[1])
+
+    def test_ffill_matches_sanitize_window(self):
+        """Tensor-level forward-fill == the window-local stats repair."""
+        window = [make_stats(time=float(i)) for i in range(5)]
+        window[0].tx_pps[:] = np.nan
+        window[2].cpu_util[:] = np.nan
+        window[3].cpu_util[0] = np.inf
+        window[4].latency_ms[:] = np.nan
+        clean = sanitize_window(window)
+        ref_rh = np.stack([s.resource_matrix() for s in clean], axis=2)
+        ref_lh = np.stack([s.latency_ms for s in clean], axis=0)
+        raw_rh = np.stack([s.resource_matrix() for s in window], axis=2)
+        raw_lh = np.stack([s.latency_ms for s in window], axis=0)
+        assert np.array_equal(_ffill_time(raw_rh, axis=2), ref_rh)
+        assert np.array_equal(_ffill_time(raw_lh, axis=0), ref_lh)
+
+
+class TestPredictorEquivalence:
+    @pytest.mark.parametrize("b", [1, 4, 64])
+    def test_fast_matches_reference_bitwise(self, trained, recorded_log, rng, b):
+        cands = candidate_batch(recorded_log, trained.graph.n_tiers, b, rng)
+        lat_fast, prob_fast = trained.predict_candidates(recorded_log, cands)
+        lat_ref, prob_ref = trained.predict_candidates_reference(recorded_log, cands)
+        assert np.array_equal(lat_fast, lat_ref)
+        assert np.array_equal(prob_fast, prob_ref)
+
+    def test_fast_matches_reference_on_corrupted_window(self, trained, recorded_log, rng):
+        recorded_log.latest.latency_ms[:] = np.nan
+        recorded_log[len(recorded_log) - 2].cpu_util[:] = np.inf
+        cands = candidate_batch(recorded_log, trained.graph.n_tiers, 16, rng)
+        lat_fast, prob_fast = trained.predict_candidates(recorded_log, cands)
+        lat_ref, prob_ref = trained.predict_candidates_reference(recorded_log, cands)
+        assert np.array_equal(lat_fast, lat_ref)
+        assert np.array_equal(prob_fast, prob_ref)
+
+    def test_fast_path_toggle_dispatches_reference(self, trained, recorded_log, rng):
+        cands = candidate_batch(recorded_log, trained.graph.n_tiers, 8, rng)
+        try:
+            trained.fast_path = False
+            lat_off, prob_off = trained.predict_candidates(recorded_log, cands)
+        finally:
+            trained.fast_path = True
+        lat_on, prob_on = trained.predict_candidates(recorded_log, cands)
+        assert np.array_equal(lat_off, lat_on)
+        assert np.array_equal(prob_off, prob_on)
+
+
+class TestSchedulerTraceEquivalence:
+    """Full-episode decision traces with the toggle on vs off.
+
+    Decisions feed back into the simulator, so any divergence compounds
+    — equality over a whole episode is the strongest end-to-end check.
+    """
+
+    def _run_trace(self, trained, fast: bool, cluster_factory) -> list:
+        cluster = cluster_factory()
+        graph = make_tiny_graph()
+        space = ActionSpace(graph.min_alloc(), graph.max_alloc())
+        scheduler = OnlineScheduler(trained, space, QOS)
+        trained.fast_path = fast
+        trained.encoder._cache = None
+        trace = []
+        for _ in range(20):
+            cluster.step(cluster.current_alloc)
+            alloc = scheduler.decide(cluster.observed)
+            if alloc is not None:
+                cluster.step(alloc)
+                trace.append(np.asarray(alloc, dtype=float).copy())
+        trace.append(np.asarray(scheduler.prediction_trace, dtype=object))
+        return trace
+
+    def _assert_identical(self, trained, cluster_factory):
+        try:
+            fast = self._run_trace(trained, True, cluster_factory)
+            ref = self._run_trace(trained, False, cluster_factory)
+        finally:
+            trained.fast_path = True
+        assert len(fast) == len(ref)
+        for a, b in zip(fast[:-1], ref[:-1]):
+            assert np.array_equal(a, b)
+        for rec_a, rec_b in zip(fast[-1], ref[-1]):
+            assert rec_a.keys() == rec_b.keys()
+            for key in rec_a:
+                va, vb = rec_a[key], rec_b[key]
+                assert va == vb or (np.isnan(va) and np.isnan(vb))
+
+    def test_trace_identical_clean(self, trained):
+        self._assert_identical(
+            trained, lambda: make_tiny_cluster(users=180, seed=21)
+        )
+
+    @pytest.mark.parametrize("profile", ["telemetry-dropout", "crash-storm"])
+    def test_trace_identical_under_faults(self, trained, profile):
+        self._assert_identical(
+            trained, lambda: make_faulty_cluster(180, 23, profile)
+        )

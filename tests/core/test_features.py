@@ -158,6 +158,33 @@ class TestBuildDataset:
         with pytest.raises(ValueError, match="too short"):
             build_dataset(cluster.telemetry, cluster.graph, QoSTarget(200.0), n_timesteps=5)
 
+    def test_vectorized_matches_per_window_encoding(self, recorded_cluster):
+        """The sliding-window fast path == sample-by-sample encoding."""
+        log = recorded_cluster.telemetry
+        graph = recorded_cluster.graph
+        ds = build_dataset(log, graph, QoSTarget(200.0), n_timesteps=5, horizon=3)
+        encoder = WindowEncoder(graph, 5)
+        for i in (4, 9, len(log) - 2):
+            window = [log[j] for j in range(i - 4, i + 1)]
+            x_rh, x_lh, x_rc = encoder.encode_window(window, log[i + 1].cpu_alloc)
+            j = i - 4
+            assert np.array_equal(ds.X_RH[j], x_rh)
+            assert np.array_equal(ds.X_LH[j], x_lh)
+            assert np.array_equal(ds.X_RC[j], x_rc)
+
+    def test_corrupted_log_falls_back_to_window_repair(self, recorded_cluster):
+        """Non-finite telemetry routes through the per-window loop and
+        still yields finite, correctly shaped features."""
+        log = recorded_cluster.telemetry
+        log[6].cpu_util[:] = np.nan
+        log[7].latency_ms[0] = np.inf
+        ds = build_dataset(
+            log, recorded_cluster.graph, QoSTarget(200.0), n_timesteps=5
+        )
+        assert len(ds) == len(log) - 5
+        assert np.isfinite(ds.X_RH).all()
+        assert np.isfinite(ds.X_LH).all()
+
     def test_meta_propagated(self, recorded_cluster):
         ds = build_dataset(
             recorded_cluster.telemetry,

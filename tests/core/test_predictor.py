@@ -142,6 +142,32 @@ class TestSerialization:
         with pytest.raises(TypeError):
             HybridPredictor.load(path)
 
+    def test_load_rejects_pre_versioning_pickle(self, trained, tmp_path):
+        """A raw (format-1) predictor pickle gets a clear version error."""
+        import pickle
+
+        path = tmp_path / "old.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(trained, fh)
+        with pytest.raises(ValueError, match="format"):
+            HybridPredictor.load(path)
+
+    def test_load_rejects_format_mismatch(self, trained, tmp_path):
+        import pickle
+
+        path = tmp_path / "future.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {
+                    "format": HybridPredictor.SAVE_FORMAT + 1,
+                    "kind": "repro.HybridPredictor",
+                    "predictor": trained,
+                },
+                fh,
+            )
+        with pytest.raises(ValueError, match="format"):
+            HybridPredictor.load(path)
+
 
 class TestFineTune:
     def test_fine_tune_updates_report(self, trained, tiny_dataset):

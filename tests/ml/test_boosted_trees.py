@@ -86,6 +86,62 @@ class TestInference:
         prob = bt.predict_proba(X[:10])
         np.testing.assert_allclose(prob, 1 / (1 + np.exp(-margin)))
 
+    def test_compiled_matches_recursive_reference(self):
+        """Vectorized array traversal == per-tree recursion, bitwise."""
+        X, y = blobs(800)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=60), seed=0).fit(
+            X[:600], y[:600], X[600:], y[600:]
+        )
+        queries = np.concatenate([X[:100], X[:3] * 100.0])
+        assert np.array_equal(
+            bt.predict_margin(queries), bt.predict_margin_reference(queries)
+        )
+
+    def test_compiled_matches_reference_with_nan_features(self):
+        """NaN comparisons are False on both paths (NaN routes right)."""
+        X, y = blobs(500)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=30), seed=2).fit(X, y)
+        queries = X[:50].copy()
+        queries[::7, 2] = np.nan
+        queries[3] = np.nan
+        assert np.array_equal(
+            bt.predict_margin(queries), bt.predict_margin_reference(queries)
+        )
+
+    def test_compiled_survives_pickle(self):
+        import pickle
+
+        X, y = blobs(400)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=25), seed=3).fit(X, y)
+        clone = pickle.loads(pickle.dumps(bt))
+        assert np.array_equal(clone.predict_proba(X[:20]), bt.predict_proba(X[:20]))
+
+    def test_compiled_lazily_rebuilt(self):
+        """Ensembles without a compiled form (e.g. old pickles) compile
+        on first predict instead of falling back to recursion forever."""
+        X, y = blobs(400)
+        bt = BoostedTrees(BoostedTreesConfig(n_trees=25), seed=4).fit(X, y)
+        want = bt.predict_margin(X[:10])
+        bt._compiled = None
+        assert np.array_equal(bt.predict_margin(X[:10]), want)
+        assert bt._compiled is not None
+
+    def test_vectorized_binize_matches_searchsorted(self):
+        """The one-pass binning equals per-feature searchsorted, NaN
+        rows included (NaN lands in the overflow bin)."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 7))
+        X[::11, 3] = np.nan
+        bt = BoostedTrees(BoostedTreesConfig(n_bins=16), seed=0)
+        bt._bin_edges = bt._make_bins(np.nan_to_num(X))
+        edges = bt._bin_edges
+        binned = bt._binize(X)
+        for f, cuts in enumerate(edges):
+            want = np.searchsorted(cuts, X[:, f], side="right")
+            nan = np.isnan(X[:, f])
+            want[nan] = len(cuts)
+            np.testing.assert_array_equal(binned[:, f], want)
+
     @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=0, max_value=10_000))
     def test_property_calibrated_direction(self, seed):
