@@ -8,8 +8,9 @@ Commands mirror the paper's workflow:
 * ``sweep``      — the Figure 11 protocol: managers x loads comparison,
 * ``resilience`` — fault profiles x managers sweep with recovery metrics,
 * ``explain``    — LIME-style tier/resource attribution for a model,
-* ``bench``      — decision-path micro-benchmark (fast vs reference
-  scoring path), writing ``BENCH_decision.json``.
+* ``bench``      — fast-vs-reference micro-benchmarks: the per-decision
+  scoring path (``BENCH_decision.json``) or, with ``--training``, the
+  model training path (``BENCH_training.json``).
 """
 
 from __future__ import annotations
@@ -101,21 +102,31 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also rank this tier's resource channels")
 
     bench = sub.add_parser(
-        "bench", help="benchmark the per-decision scoring path"
+        "bench", help="benchmark the per-decision scoring or training path"
     )
     _add_common(bench)
+    bench.add_argument("--training", action="store_true",
+                       help="benchmark model training (histogram trees, "
+                            "im2col CNN) instead of the decision path")
     bench.add_argument("--candidates", default="16,64,128",
                        help="comma-separated candidate batch sizes")
     bench.add_argument("--window", type=int, default=5,
                        help="telemetry window length (n_timesteps)")
-    bench.add_argument("--repeats", type=int, default=30,
-                       help="timing repetitions per measurement (min is kept)")
-    bench.add_argument("--trees", type=int, default=300,
-                       help="synthetic boosted-tree ensemble size")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timing repetitions, min is kept "
+                            "(default: 30 decision / 2 training)")
+    bench.add_argument("--trees", type=int, default=None,
+                       help="boosted-tree ensemble size "
+                            "(default: 300 decision / 400 training)")
+    bench.add_argument("--epochs", type=int, default=5,
+                       help="CNN training epochs (--training only)")
+    bench.add_argument("--samples", type=int, default=1536,
+                       help="training dataset rows (--training only)")
     bench.add_argument("--intervals", type=int, default=25,
                        help="scheduler-replay decision intervals")
-    bench.add_argument("--output", default="BENCH_decision.json",
-                       help="result JSON path ('' to skip writing)")
+    bench.add_argument("--output", default=None,
+                       help="result JSON path ('' to skip writing; default "
+                            "BENCH_decision.json / BENCH_training.json)")
     return parser
 
 
@@ -310,14 +321,21 @@ def cmd_bench(args) -> int:
     from repro.harness.bench import BenchConfig, format_bench, run_bench
     from repro.harness.pipeline import resolve_budget
 
+    small = resolve_budget(args.budget).name == "small"
+    if args.training:
+        return _cmd_bench_training(args, small)
+
     counts = tuple(int(c) for c in args.candidates.split(",") if c.strip())
-    repeats, trees, intervals = args.repeats, args.trees, args.intervals
-    if resolve_budget(args.budget).name == "small":
+    repeats = args.repeats if args.repeats is not None else 30
+    trees = args.trees if args.trees is not None else 300
+    intervals = args.intervals
+    if small:
         # CI smoke: keep the run to a few seconds; equivalence checks
         # still run at full strength, only the timing repeats shrink.
         repeats = min(repeats, 8)
         trees = min(trees, 150)
         intervals = min(intervals, 10)
+    output = args.output if args.output is not None else "BENCH_decision.json"
     results = run_bench(BenchConfig(
         app=args.app,
         candidate_counts=counts,
@@ -326,14 +344,48 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         n_trees=trees,
         decision_intervals=intervals,
-        output=args.output,
+        output=output,
     ))
     print(format_bench(results))
-    if args.output:
-        print(f"wrote {args.output}")
+    if output:
+        print(f"wrote {output}")
     ok = all(r["bitwise_equal"] for r in results["components"])
     ok = ok and results["scheduler"]["identical_traces"]
     return 0 if ok else 1
+
+
+def _cmd_bench_training(args, small: bool) -> int:
+    from repro.harness.bench import (
+        TrainingBenchConfig,
+        format_training_bench,
+        run_training_bench,
+    )
+
+    samples = args.samples
+    trees = args.trees if args.trees is not None else 400
+    repeats = args.repeats if args.repeats is not None else 2
+    if small:
+        # CI smoke: shrink the dataset and ensemble so the three timed
+        # fits finish in well under a minute; the fast-vs-reference
+        # equivalence checks are unaffected by the sizes.
+        samples = min(samples, 768)
+        trees = min(trees, 200)
+        repeats = 1
+    output = args.output if args.output is not None else "BENCH_training.json"
+    results = run_training_bench(TrainingBenchConfig(
+        app=args.app,
+        n_samples=samples,
+        n_timesteps=args.window,
+        n_trees=trees,
+        cnn_epochs=args.epochs,
+        seed=args.seed,
+        repeats=repeats,
+        output=output,
+    ))
+    print(format_training_bench(results))
+    if output:
+        print(f"wrote {output}")
+    return 0 if results["equivalent"] else 1
 
 
 def main(argv: list[str] | None = None) -> int:

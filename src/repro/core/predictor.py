@@ -113,6 +113,10 @@ class HybridPredictor:
         # shared-trunk CNN + compiled trees (bit-identical to the
         # reference path, see predict_candidates_reference).
         self.fast_path = True
+        # Training path: True fits the trees level-wise over histograms
+        # and the CNN with im2col convolutions; False selects the
+        # reference growers/backprop (the training oracles).
+        self.fast_train = True
 
     # ------------------------------------------------------------------
     # Training
@@ -170,6 +174,11 @@ class HybridPredictor:
         self, split: TrainValSplit, lr: float, epochs: int
     ) -> TrainingReport:
         cfg = self.config
+        # Push the training-path toggle down into both models (old
+        # pickles predate the attribute, hence the .get default).
+        fast = bool(self.__dict__.get("fast_train", True))
+        self.trees.fast_train = fast
+        self.cnn.set_fast_train(fast)
         if not self.normalizer.fitted:
             self.normalizer.fit(split.train)
         train, val = split.train, split.val

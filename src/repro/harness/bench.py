@@ -29,10 +29,12 @@ from repro.core.actions import ActionSpace
 from repro.core.predictor import HybridPredictor, PredictorConfig, TrainingReport
 from repro.core.scheduler import OnlineScheduler
 from repro.harness.pipeline import app_spec, make_cluster
-from repro.ml.boosted_trees import _compile_trees, _Node
+from repro.ml.boosted_trees import BoostedTreesConfig, _compile_trees, _Node
 from repro.ml.dataset import SinanDataset
 from repro.ml.network import FitResult
-from repro.sim.telemetry import TelemetryLog
+from repro.sim.telemetry import LATENCY_PERCENTILES, TelemetryLog
+
+_PERCENTILES = LATENCY_PERCENTILES
 
 
 @dataclass(frozen=True)
@@ -266,6 +268,333 @@ def bench_scheduler(predictor: HybridPredictor, config: BenchConfig) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Training-path benchmark
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrainingBenchConfig:
+    """Knobs of one ``repro bench --training`` invocation.
+
+    Mirrors :class:`BenchConfig` for the *training* path: the histogram
+    tree grower, the im2col CNN backprop, and the fused LSTM are each
+    timed against their reference implementations, then the whole
+    ``HybridPredictor.train`` runs once per path.  The dataset is
+    synthetic but learnable (labels are a noisy function of the
+    features), so trees split meaningfully and losses decrease — the
+    mechanics under test are identical to training on collected data.
+    """
+
+    app: str = "social_network"
+    n_samples: int = 1536
+    n_timesteps: int = 5
+    n_trees: int = 400
+    cnn_epochs: int = 5
+    batch_size: int = 256
+    seed: int = 0
+    repeats: int = 2
+    output: str = "BENCH_training.json"
+
+
+def make_training_dataset(config: TrainingBenchConfig) -> SinanDataset:
+    """A synthetic but learnable dataset sized like collected data.
+
+    Latency labels follow a smooth function of the aggregate load
+    signal minus the candidate allocation (plus noise), violations
+    threshold the p99 label against QoS — enough structure that the
+    trees grow full depth and the CNN loss actually falls.
+    """
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    from repro.core.features import WindowEncoder
+
+    f = WindowEncoder(graph, config.n_timesteps).n_channels
+    n, t, tiers = config.n_samples, config.n_timesteps, graph.n_tiers
+    m = len(_PERCENTILES)
+    qos = spec.qos.latency_ms
+    rng = np.random.default_rng(config.seed)
+
+    X_RH = np.abs(rng.normal(2.0, 1.0, (n, f, tiers, t)))
+    X_RC = np.abs(rng.normal(2.0, 0.5, (n, tiers)))
+    load = X_RH.mean(axis=(1, 2, 3)) - 0.6 * X_RC.mean(axis=1)
+    load = (load - load.mean()) / max(load.std(), 1e-9)
+    p99 = qos * (0.55 + 0.35 * np.tanh(load)) + rng.normal(0.0, qos * 0.03, n)
+    p99 = np.clip(p99, qos * 0.05, qos * 2.2)
+    spread = np.linspace(0.82, 1.0, m)
+    y_lat = p99[:, None] * spread[None, :]
+    X_LH = np.abs(
+        y_lat[:, None, :] * rng.uniform(0.85, 1.15, (n, t, m))
+    )
+    # Violation labels carry interaction structure plus 15% label flips:
+    # linearly inseparable and noisy, so both tree growers chase
+    # residuals to full depth — the workload a real collected dataset
+    # induces — instead of terminating on a trivially pure split.
+    inter = X_RH[:, 0].mean(axis=(1, 2)) * X_RC[:, 0] - X_RH[:, -1].mean(
+        axis=(1, 2)
+    ) * X_RC[:, -1]
+    inter = (inter - inter.mean()) / max(inter.std(), 1e-9)
+    y_viol = ((p99 / qos + 0.3 * np.sign(inter) * inter * inter) > 1.0).astype(
+        float
+    )
+    flips = rng.random(n) < 0.15
+    y_viol[flips] = 1.0 - y_viol[flips]
+    return SinanDataset(
+        X_RH=X_RH, X_LH=X_LH, X_RC=X_RC, y_lat=y_lat, y_viol=y_viol, meta={}
+    )
+
+
+def _tree_structures_equal(a, b) -> bool:
+    """Exact split-for-split equality of two fitted ensembles
+    (feature and bin threshold exact, leaf weights to 1e-10)."""
+    if len(a.trees) != len(b.trees):
+        return False
+
+    def walk(x, y) -> bool:
+        if (x is None) != (y is None):
+            return False
+        if x is None:
+            return True
+        if x.feature != y.feature or x.threshold != y.threshold:
+            return False
+        if abs(x.value - y.value) > 1e-10:
+            return False
+        return walk(x.left, y.left) and walk(x.right, y.right)
+
+    return all(walk(ta, tb) for ta, tb in zip(a.trees, b.trees))
+
+
+def bench_tree_fit(config: TrainingBenchConfig) -> dict:
+    """Histogram grower vs reference grower on a bt-feature-sized task."""
+    from repro.ml.boosted_trees import BoostedTrees, BoostedTreesConfig
+
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    rng = np.random.default_rng(config.seed + 11)
+    # Same feature dimension the trees see in the hybrid model:
+    # latent + [rc, delta, util] per tier + latency percentiles.
+    latent_dim = PredictorConfig().cnn.latent_dim
+    d = latent_dim + 3 * graph.n_tiers + len(_PERCENTILES)
+    n = config.n_samples
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] + 0.5 * X[:, 1] * X[:, 2] + 0.3 * rng.normal(size=n) > 0.4).astype(
+        float
+    )
+    n_val = max(n // 10, 10)
+    X_val = rng.normal(size=(n_val, d))
+    y_val = (X_val[:, 0] + 0.5 * X_val[:, 1] * X_val[:, 2] > 0.4).astype(float)
+
+    # Both paths grow the full budget (no early stop) so the timed work
+    # is identical by construction.
+    bt_cfg = BoostedTreesConfig(
+        n_trees=config.n_trees, early_stopping_rounds=config.n_trees
+    )
+
+    def fit(fast: bool) -> BoostedTrees:
+        model = BoostedTrees(bt_cfg, seed=config.seed)
+        model.fast_train = fast
+        model.fit(X, y, X_val, y_val)
+        return model
+
+    t0 = time.perf_counter()
+    model_fast = fit(True)
+    fast_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    model_ref = fit(False)
+    ref_s = time.perf_counter() - t0
+
+    margins_equal = bool(
+        np.array_equal(
+            model_fast.predict_margin(X_val), model_ref.predict_margin(X_val)
+        )
+    )
+    return {
+        "n_samples": n,
+        "n_features": d,
+        "n_trees": len(model_fast.trees),
+        "fast_s": round(fast_s, 3),
+        "reference_s": round(ref_s, 3),
+        "speedup": round(ref_s / fast_s, 2) if fast_s else 0.0,
+        "structures_equal": _tree_structures_equal(model_fast, model_ref),
+        "margins_bitwise_equal": margins_equal,
+    }
+
+
+def bench_cnn_epochs(config: TrainingBenchConfig) -> dict:
+    """im2col/fused training vs einsum/loop reference, same CNN fit."""
+    from repro.ml.cnn import LatencyCNN
+    from repro.ml.network import FitResult as _FitResult
+
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    rng = np.random.default_rng(config.seed + 23)
+    n, t, tiers = config.n_samples, config.n_timesteps, graph.n_tiers
+    m = len(_PERCENTILES)
+    cnn_seed = config.seed + 5
+
+    from repro.core.features import WindowEncoder
+
+    f = WindowEncoder(graph, t).n_channels
+
+    def build() -> LatencyCNN:
+        return LatencyCNN(
+            n_tiers=tiers,
+            n_timesteps=t,
+            n_channels=f,
+            n_percentiles=m,
+            seed=cnn_seed,
+            n_rc_features=2 * tiers,
+        )
+
+    inputs = (
+        rng.normal(size=(n, f, tiers, t)),
+        rng.normal(size=(n, t, m)),
+        rng.normal(size=(n, 2 * tiers)),
+    )
+    targets = inputs[0].mean(axis=(1, 2, 3))[:, None] * np.ones(m) + rng.normal(
+        0.0, 0.05, (n, m)
+    )
+
+    def fit(fast: bool) -> _FitResult:
+        model = build()
+        model.set_fast_train(fast)
+        return model.fit(
+            inputs,
+            targets,
+            epochs=config.cnn_epochs,
+            batch_size=config.batch_size,
+            seed=config.seed,
+            patience=0,
+        )
+
+    fit_fast = fit(True)
+    fit_ref = fit(False)
+    losses_close = bool(
+        np.allclose(fit_fast.train_loss, fit_ref.train_loss, rtol=0, atol=1e-8)
+    )
+    fast_s = float(np.mean(fit_fast.epoch_time_s))
+    ref_s = float(np.mean(fit_ref.epoch_time_s))
+    return {
+        "n_samples": n,
+        "epochs": config.cnn_epochs,
+        "fast_s_per_epoch": round(fast_s, 3),
+        "reference_s_per_epoch": round(ref_s, 3),
+        "speedup": round(ref_s / fast_s, 2) if fast_s else 0.0,
+        "losses_close": losses_close,
+        "max_loss_diff": float(
+            np.max(np.abs(np.subtract(fit_fast.train_loss, fit_ref.train_loss)))
+        ),
+    }
+
+
+def bench_end_to_end(config: TrainingBenchConfig, dataset: SinanDataset) -> dict:
+    """One full ``HybridPredictor.train`` per path, timed."""
+    spec = app_spec(config.app)
+
+    def train(fast: bool) -> tuple[HybridPredictor, TrainingReport, float]:
+        graph = spec.graph_factory()
+        predictor = HybridPredictor(
+            graph,
+            spec.qos,
+            PredictorConfig(
+                n_timesteps=config.n_timesteps,
+                epochs=config.cnn_epochs,
+                batch_size=config.batch_size,
+                patience=0,
+                trees=BoostedTreesConfig(
+                    n_trees=config.n_trees,
+                    early_stopping_rounds=config.n_trees,
+                ),
+            ),
+            seed=config.seed,
+        )
+        predictor.fast_train = fast
+        t0 = time.perf_counter()
+        report = predictor.train(dataset)
+        return predictor, report, time.perf_counter() - t0
+
+    # Min over repeats per path: the training runs are seconds-long, so
+    # one background hiccup would otherwise dominate the ratio.
+    _, report_fast, fast_s = train(True)
+    _, report_ref, ref_s = train(False)
+    for _ in range(max(0, config.repeats - 1)):
+        fast_s = min(fast_s, train(True)[2])
+        ref_s = min(ref_s, train(False)[2])
+    # The two paths differ by float rounding, so the trained models are
+    # equivalent in quality, not bitwise: compare the reported metrics.
+    rmse_close = bool(
+        np.isclose(report_fast.rmse_val, report_ref.rmse_val, rtol=0.05, atol=1.0)
+    )
+    acc_close = bool(
+        np.isclose(
+            report_fast.bt_accuracy_val, report_ref.bt_accuracy_val, atol=0.05
+        )
+    )
+    return {
+        "n_samples": len(dataset),
+        "n_trees": config.n_trees,
+        "cnn_epochs": config.cnn_epochs,
+        "fast_s": round(fast_s, 3),
+        "reference_s": round(ref_s, 3),
+        "speedup": round(ref_s / fast_s, 2) if fast_s else 0.0,
+        "rmse_val_fast": round(report_fast.rmse_val, 3),
+        "rmse_val_reference": round(report_ref.rmse_val, 3),
+        "bt_accuracy_val_fast": round(report_fast.bt_accuracy_val, 4),
+        "bt_accuracy_val_reference": round(report_ref.bt_accuracy_val, 4),
+        "quality_close": rmse_close and acc_close,
+    }
+
+
+def run_training_bench(config: TrainingBenchConfig | None = None) -> dict:
+    """Run the training benchmark and return (and optionally write) results."""
+    config = config or TrainingBenchConfig()
+    dataset = make_training_dataset(config)
+    results = {
+        "benchmark": "training-path",
+        "app": config.app,
+        "n_samples": config.n_samples,
+        "window": config.n_timesteps,
+        "n_trees": config.n_trees,
+        "cnn_epochs": config.cnn_epochs,
+        "seed": config.seed,
+        "tree_fit": bench_tree_fit(config),
+        "cnn_fit": bench_cnn_epochs(config),
+        "end_to_end": bench_end_to_end(config, dataset),
+    }
+    results["equivalent"] = bool(
+        results["tree_fit"]["structures_equal"]
+        and results["tree_fit"]["margins_bitwise_equal"]
+        and results["cnn_fit"]["losses_close"]
+        and results["end_to_end"]["quality_close"]
+    )
+    if config.output:
+        Path(config.output).write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def format_training_bench(results: dict) -> str:
+    """Human-readable summary of one ``run_training_bench`` result."""
+    tf, cf, e2e = results["tree_fit"], results["cnn_fit"], results["end_to_end"]
+    lines = [
+        f"training-path benchmark — {results['app']} "
+        f"({results['n_samples']} samples, {results['n_trees']} trees, "
+        f"{results['cnn_epochs']} CNN epochs)",
+        f"tree fit:   {tf['fast_s']:.2f}s fast vs {tf['reference_s']:.2f}s "
+        f"reference ({tf['speedup']:.1f}x), structures "
+        + ("equal" if tf["structures_equal"] else "DIFFER")
+        + ", margins "
+        + ("bitwise equal" if tf["margins_bitwise_equal"] else "DIFFER"),
+        f"cnn epoch:  {cf['fast_s_per_epoch']:.2f}s fast vs "
+        f"{cf['reference_s_per_epoch']:.2f}s reference ({cf['speedup']:.1f}x), "
+        f"losses " + ("match" if cf["losses_close"] else "DIVERGED")
+        + f" (max diff {cf['max_loss_diff']:.2e})",
+        f"end-to-end: {e2e['fast_s']:.2f}s fast vs {e2e['reference_s']:.2f}s "
+        f"reference ({e2e['speedup']:.1f}x), quality "
+        + ("close" if e2e["quality_close"] else "DIVERGED"),
+    ]
+    return "\n".join(lines)
+
+
 def run_bench(config: BenchConfig | None = None) -> dict:
     """Run the full benchmark and return (and optionally write) results."""
     config = config or BenchConfig()
@@ -332,4 +661,11 @@ __all__ = [
     "make_bench_log",
     "bench_components",
     "bench_scheduler",
+    "TrainingBenchConfig",
+    "make_training_dataset",
+    "run_training_bench",
+    "format_training_bench",
+    "bench_tree_fit",
+    "bench_cnn_epochs",
+    "bench_end_to_end",
 ]

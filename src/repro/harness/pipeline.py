@@ -80,7 +80,11 @@ logger = logging.getLogger(__name__)
 # v7: predictor checkpoints use the tagged save format (SAVE_FORMAT=2)
 # and carry compiled boosted trees + fast-path state; older cache files
 # would fail HybridPredictor.load's format check.
-_CACHE_VERSION = 7
+# v8: models are trained on the fast training path (histogram tree
+# grower, im2col/fused-GEMM backprop); trained weights match the old
+# path only to float tolerance, not bit for bit, so cached predictors
+# from v7 would silently differ from freshly trained ones.
+_CACHE_VERSION = 8
 
 
 @dataclass(frozen=True)

@@ -103,10 +103,26 @@ class Conv2D(Layer):
     so a k x k kernel fuses k adjacent tiers over k adjacent intervals —
     how the paper's CNN learns inter-tier dependencies (Section 3.1).
 
-    Implemented with sliding-window views and ``einsum`` (optimized
-    contraction paths), which on small feature maps beats explicit
-    im2col materialization.
+    Two implementations coexist, selected per call:
+
+    * **Inference** always uses sliding-window views and ``einsum``.
+      The einsum contraction is batch-invariant down to the bit, which
+      the shared-trunk decision fast path depends on (see
+      :meth:`repro.ml.cnn.LatencyCNN.predict_candidates`) — it must not
+      be swapped for a GEMM, whose rounding depends on the batch size.
+    * **Training** (``forward(..., training=True)`` with ``fast_train``
+      on, the default) materializes the im2col matrix once and runs a
+      single GEMM forward; backward is one GEMM for ``dW`` (against the
+      saved im2col matrix) and one GEMM back to column space followed
+      by a col2im fold for ``dx`` — no einsum materialization of the
+      (B, C, H, W, k, k) gradient tensor.  The einsum forward plus
+      tap-loop backward is kept as the gradient oracle (``fast_train =
+      False``); outputs and gradients agree to float rounding (~1e-10
+      tolerance in the tests).
     """
+
+    #: Training-path toggle (class default; instances may override).
+    fast_train = True
 
     def __init__(
         self, in_ch: int, out_ch: int, kernel: int, rng: np.random.Generator
@@ -122,6 +138,7 @@ class Conv2D(Layer):
         self.in_ch = in_ch
         self.out_ch = out_ch
         self._fwd_path: tuple[tuple, list] | None = None
+        self._mode = "einsum"
 
     def params(self) -> list[np.ndarray]:
         return [self.W, self.b]
@@ -133,8 +150,70 @@ class Conv2D(Layer):
         B, C, H, W = x.shape
         if C != self.in_ch:
             raise ValueError(f"expected {self.in_ch} channels, got {C}")
+        if training and self.fast_train:
+            return self._forward_im2col(x)
+        return self._forward_einsum(x)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self.__dict__.get("_mode", "einsum") == "im2col":
+            return self._backward_im2col(dout)
+        return self._backward_einsum(dout)
+
+    # -- im2col fast training path -------------------------------------
+
+    def _forward_im2col(self, x: np.ndarray) -> np.ndarray:
+        B, C, H, W = x.shape
+        k = self.kernel
+        pad = k // 2
+        self._x_shape = x.shape
+        self._mode = "im2col"
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        # im2col matrix (C*k*k, B*H*W), filled one kernel tap at a time:
+        # each tap is a (C, B, H, W) slice copy with a contiguous
+        # destination, which on these small feature maps is much faster
+        # than one big transpose of the 6D sliding-window view.  Rows
+        # follow the (c, i, j) order of W.reshape(C*k*k, O); BLAS
+        # handles the transposed GEMM operand without a copy.
+        cols = np.empty((C, k, k, B, H, W))
+        for i in range(k):
+            for j in range(k):
+                np.copyto(
+                    cols[:, i, j],
+                    xp[:, :, i : i + H, j : j + W].transpose(1, 0, 2, 3),
+                )
+        self._cols = cols.reshape(C * k * k, B * H * W)
+        out = self._cols.T @ self.W.reshape(C * k * k, self.out_ch)
+        out += self.b
+        return out.reshape(B, H, W, self.out_ch).transpose(0, 3, 1, 2)
+
+    def _backward_im2col(self, dout: np.ndarray) -> np.ndarray:
+        B, C, H, W = self._x_shape
+        k = self.kernel
+        pad = k // 2
+        O = self.out_ch
+        dout_mat = dout.transpose(0, 2, 3, 1).reshape(B * H * W, O)
+        self.dW[...] = (self._cols @ dout_mat).reshape(C, k, k, O)
+        self.db[...] = dout_mat.sum(axis=0)
+        # dx: one GEMM back to column space, then fold the k*k taps
+        # onto the padded input (col2im).
+        dcols = (self.W.reshape(C * k * k, O) @ dout_mat.T).reshape(
+            C, k, k, B, H, W
+        )
+        dxp = np.zeros((B, C, H + 2 * pad, W + 2 * pad), dtype=dout.dtype)
+        dst = dxp.transpose(1, 0, 2, 3)
+        for i in range(k):
+            for j in range(k):
+                dst[:, :, i : i + H, j : j + W] += dcols[:, i, j]
+        if pad:
+            return dxp[:, :, pad:-pad, pad:-pad]
+        return dxp
+
+    # -- einsum inference path / training oracle -----------------------
+
+    def _forward_einsum(self, x: np.ndarray) -> np.ndarray:
         pad = self.kernel // 2
         self._x_shape = x.shape
+        self._mode = "einsum"
         xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
         # (B, C, H, W, k, k) zero-copy view of all kernel positions.
         self._windows = np.lib.stride_tricks.sliding_window_view(
@@ -154,7 +233,7 @@ class Conv2D(Layer):
         out += self.b
         return out.transpose(0, 3, 1, 2)
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
+    def _backward_einsum(self, dout: np.ndarray) -> np.ndarray:
         B, C, H, W = self._x_shape
         k = self.kernel
         pad = k // 2
@@ -179,7 +258,22 @@ class LSTMCell(Layer):
 
     Standard gates with fused weight matrix; full backpropagation
     through time.  Used by the Table 2 LSTM comparison model.
+
+    The default (``fast_train = True``) path hoists the input half of
+    the gate projection out of the timestep loop — one ``(B*T, D) @
+    (D, 4H)`` GEMM for the whole sequence — and leaves only the ``h @
+    W_h`` recurrence per step; backward writes the four gate gradients
+    into one preallocated ``(B, T, 4H)`` buffer (no per-step
+    ``concatenate``), accumulates ``dW_h`` per step, and recovers
+    ``dW_x`` / ``dx`` / ``db`` with single whole-sequence GEMMs.  The
+    original per-step concatenated formulation is kept as the gradient
+    oracle (``fast_train = False``); the two agree to float rounding
+    (~1e-10 in the tests) since a split GEMM sums products in a
+    different order than the fused one.
     """
+
+    #: Training-path toggle (class default; instances may override).
+    fast_train = True
 
     def __init__(self, in_dim: int, hidden: int, rng: np.random.Generator) -> None:
         scale = np.sqrt(1.0 / (in_dim + hidden))
@@ -199,12 +293,99 @@ class LSTMCell(Layer):
         return [self.dW, self.db]
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.fast_train:
+            return self._forward_fused(x)
+        return self._forward_reference(x)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self.__dict__.get("_mode", "reference") == "fused":
+            return self._backward_fused(dout)
+        return self._backward_reference(dout)
+
+    # -- fused fast path -----------------------------------------------
+
+    def _buffers(self, B: int, T: int) -> None:
+        """(Re)allocate the per-sequence caches only on a shape change."""
+        H = self.hidden
+        cached = self.__dict__.get("_buf_shape")
+        if cached == (B, T):
+            return
+        self._buf_shape = (B, T)
+        self._gate_acts = np.empty((4, B, T, H))  # i, f, o, g
+        self._c_prev = np.empty((B, T, H))
+        self._tanh_c = np.empty((B, T, H))
+        self._h_prev = np.empty((B, T, H))
+        self._dgates = np.empty((B, T, 4 * H))
+
+    def _forward_fused(self, x: np.ndarray) -> np.ndarray:
+        B, T, D = x.shape
+        H = self.hidden
+        self._x = x
+        self._mode = "fused"
+        self._buffers(B, T)
+        # All timestep input projections in one GEMM; the recurrence
+        # keeps only the (B, H) @ (H, 4H) product per step.
+        x_proj = (x.reshape(B * T, D) @ self.W[:D]).reshape(B, T, 4 * H)
+        W_h = self.W[D:]
+        h = np.zeros((B, H))
+        c = np.zeros((B, H))
+        ig, fg, og, gg = self._gate_acts
+        for t in range(T):
+            self._h_prev[:, t] = h
+            self._c_prev[:, t] = c
+            gates = h @ W_h
+            gates += x_proj[:, t]
+            gates += self.b
+            i = _sigmoid(gates[:, :H])
+            f = _sigmoid(gates[:, H : 2 * H])
+            o = _sigmoid(gates[:, 2 * H : 3 * H])
+            g = np.tanh(gates[:, 3 * H :])
+            ig[:, t], fg[:, t], og[:, t], gg[:, t] = i, f, o, g
+            c = f * c + i * g
+            tanh_c = np.tanh(c)
+            self._tanh_c[:, t] = tanh_c
+            h = o * tanh_c
+        return h
+
+    def _backward_fused(self, dout: np.ndarray) -> np.ndarray:
+        x = self._x
+        B, T, D = x.shape
+        H = self.hidden
+        W_h = self.W[D:]
+        ig, fg, og, gg = self._gate_acts
+        dgates = self._dgates
+        dWh = np.zeros((H, 4 * H))
+        dh = dout
+        dc = np.zeros((B, H))
+        for t in reversed(range(T)):
+            i, f, o, g = ig[:, t], fg[:, t], og[:, t], gg[:, t]
+            tanh_c = self._tanh_c[:, t]
+            do = dh * tanh_c
+            dc = dc + dh * o * (1.0 - tanh_c * tanh_c)
+            dg_t = dgates[:, t]
+            np.multiply((dc * g) * i, 1.0 - i, out=dg_t[:, :H])
+            np.multiply((dc * self._c_prev[:, t]) * f, 1.0 - f, out=dg_t[:, H : 2 * H])
+            np.multiply(do * o, 1.0 - o, out=dg_t[:, 2 * H : 3 * H])
+            np.multiply(dc * i, 1.0 - g * g, out=dg_t[:, 3 * H :])
+            dWh += self._h_prev[:, t].T @ dg_t
+            dh = dg_t @ W_h.T
+            dc = dc * f
+        flat = dgates.reshape(B * T, 4 * H)
+        self.dW[:D] = x.reshape(B * T, D).T @ flat
+        self.dW[D:] = dWh
+        self.db[...] = flat.sum(axis=0)
+        return (flat @ self.W[:D].T).reshape(B, T, D)
+
+    # -- per-step reference (gradient oracle) --------------------------
+
+    def _forward_reference(self, x: np.ndarray) -> np.ndarray:
         B, T, D = x.shape
         H = self.hidden
         h = np.zeros((B, H))
         c = np.zeros((B, H))
         self._cache = []
         self._x = x
+        self._mode = "reference"
         for t in range(T):
             z = np.concatenate([x[:, t], h], axis=1)
             gates = z @ self.W + self.b
@@ -219,7 +400,7 @@ class LSTMCell(Layer):
             h, c = h_new, c_new
         return h
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
+    def _backward_reference(self, dout: np.ndarray) -> np.ndarray:
         B, T, D = self._x.shape
         H = self.hidden
         self.dW[...] = 0.0

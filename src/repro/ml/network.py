@@ -8,6 +8,7 @@ its networks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +48,7 @@ class FitResult:
 
     train_loss: list[float] = field(default_factory=list)
     val_rmse: list[float] = field(default_factory=list)
+    epoch_time_s: list[float] = field(default_factory=list)
     train_rmse_final: float = float("nan")
     val_rmse_final: float = float("nan")
     epochs_run: int = 0
@@ -76,6 +78,21 @@ class NeuralRegressor:
     @property
     def n_params(self) -> int:
         return int(sum(p.size for p in self.params()))
+
+    def set_fast_train(self, flag: bool) -> None:
+        """Toggle the fast training paths (im2col Conv2D, fused LSTM)
+        on every layer of the model.
+
+        ``False`` selects the reference implementations that serve as
+        the training-path oracles; ``True`` (the layer default) the
+        GEMM-based fast paths.  Only layers that define a ``fast_train``
+        class attribute are touched.
+        """
+        for attr in vars(self).values():
+            layers = attr.layers if isinstance(attr, Sequential) else [attr]
+            for layer in layers:
+                if isinstance(layer, Layer) and hasattr(type(layer), "fast_train"):
+                    layer.fast_train = bool(flag)
 
     @property
     def size_kb(self) -> float:
@@ -121,23 +138,48 @@ class NeuralRegressor:
         n = len(targets)
         result = FitResult()
         best_val = float("inf")
-        best_params = None
+        best_params: list[np.ndarray] | None = None
+        have_best = False
         stale = 0
 
+        # Preallocate the shuffle permutation and the batch gather
+        # buffers once; epochs refill them in place.  Resetting
+        # ``order`` to arange before each shuffle keeps the RNG stream
+        # (and therefore batch composition) identical to the previous
+        # per-epoch ``rng.permutation(n)``.
+        base_order = np.arange(n)
+        order = np.empty_like(base_order)
+        max_b = min(batch_size, n) if n else 0
+        in_bufs = tuple(
+            np.empty((max_b,) + x.shape[1:], dtype=x.dtype) for x in inputs
+        )
+        target_buf = np.empty((max_b,) + targets.shape[1:], dtype=targets.dtype)
+
         for epoch in range(epochs):
-            order = rng.permutation(n)
+            tick = time.perf_counter()
+            order[...] = base_order
+            rng.shuffle(order)
             epoch_loss = 0.0
             batches = 0
             for start in range(0, n, batch_size):
                 idx = order[start : start + batch_size]
-                batch_in = tuple(x[idx] for x in inputs)
+                m = len(idx)
+                # Gather into the reusable buffers: backward runs
+                # before the next batch overwrites them.
+                batch_in = tuple(
+                    np.take(x, idx, axis=0, out=buf[:m])
+                    for x, buf in zip(inputs, in_bufs)
+                )
                 pred = self.forward_batch(batch_in, training=True)
-                batch_loss, grad = loss(pred, targets[idx])
+                batch_loss, grad = loss(
+                    pred, np.take(targets, idx, axis=0, out=target_buf[:m])
+                )
                 self.backward_batch(grad)
                 optimizer.step()
                 epoch_loss += batch_loss
                 batches += 1
             result.train_loss.append(epoch_loss / max(batches, 1))
+            result.epoch_time_s.append(time.perf_counter() - tick)
             result.epochs_run = epoch + 1
 
             if val_inputs is not None and val_targets is not None:
@@ -151,14 +193,18 @@ class NeuralRegressor:
                     )
                 if val_score < best_val - 1e-6:
                     best_val = val_score
-                    best_params = [p.copy() for p in self.params()]
+                    if best_params is None:
+                        best_params = [np.empty_like(p) for p in self.params()]
+                    for dst, p in zip(best_params, self.params()):
+                        np.copyto(dst, p)
+                    have_best = True
                     stale = 0
                 else:
                     stale += 1
                     if patience and stale >= patience:
                         break
 
-        if best_params is not None:
+        if have_best and best_params is not None:
             for p, best in zip(self.params(), best_params):
                 p[...] = best
         result.train_rmse_final = rmse(self.predict(inputs), targets)

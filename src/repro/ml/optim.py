@@ -41,18 +41,26 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self.clip = clip
         self._velocity = [np.zeros_like(p) for p in params]
+        self._scratch = [np.empty_like(p) for p in params]
 
     def step(self) -> None:
-        for p, g, v in zip(self.params, self.grads, self._velocity):
+        # Every array op writes into v / p / a preallocated scratch
+        # buffer — no per-step allocations, and the parameter objects
+        # handed in at construction keep their identity.  Scalar factors
+        # are folded first so the float rounding matches the previous
+        # allocating formulation exactly.
+        for p, g, v, buf in zip(self.params, self.grads, self._velocity, self._scratch):
             update = g
             if self.clip > 0:
-                norm = np.linalg.norm(update)
+                norm = np.linalg.norm(g)
                 if norm > self.clip:
-                    update = update * (self.clip / norm)
+                    update = np.multiply(g, self.clip / norm, out=buf)
             v *= self.momentum
-            v -= self.lr * update
+            np.multiply(update, self.lr, out=buf)
+            v -= buf
             if self.weight_decay > 0:
-                v -= self.lr * self.weight_decay * p
+                np.multiply(p, self.lr * self.weight_decay, out=buf)
+                v -= buf
             p += v
 
 
@@ -77,19 +85,38 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p) for p in params]
         self._v = [np.zeros_like(p) for p in params]
+        self._scratch = [(np.empty_like(p), np.empty_like(p)) for p in params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bc1 = 1.0 - self.beta1**self._t
         bc2 = 1.0 - self.beta2**self._t
-        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
-            grad = g + self.weight_decay * p if self.weight_decay > 0 else g
+        # In-place throughout (two scratch buffers per parameter), with
+        # operations ordered to reproduce the rounding of the previous
+        # allocating expressions bit for bit.
+        for p, g, m, v, (ba, bb) in zip(
+            self.params, self.grads, self._m, self._v, self._scratch
+        ):
+            if self.weight_decay > 0:
+                np.multiply(p, self.weight_decay, out=ba)
+                grad = np.add(g, ba, out=ba)
+            else:
+                grad = g
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=bb)
+            m += bb
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=bb)
+            bb *= grad
+            v += bb
+            np.divide(v, bc2, out=bb)
+            np.sqrt(bb, out=bb)
+            bb += self.eps
+            np.divide(m, bc1, out=ba)
+            ba *= self.lr
+            ba /= bb
+            p -= ba
 
 
 __all__ = ["Optimizer", "SGD", "Adam"]

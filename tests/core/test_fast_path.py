@@ -220,3 +220,84 @@ class TestSchedulerTraceEquivalence:
         self._assert_identical(
             trained, lambda: make_faulty_cluster(180, 23, profile)
         )
+
+
+class TestTrainingEquivalenceUnderFaults:
+    """Fast-path *training* on sanitized fault-corrupted data is a
+    drop-in for the reference paths: the histogram grower reproduces the
+    reference tree structure, and the im2col/fused CNN reproduces the
+    reference loss trajectory — NaN-repaired windows (forward-filled
+    plateaus, zero backfill, duplicated values) are exactly the
+    tie-heavy inputs most likely to expose divergence."""
+
+    @pytest.fixture(scope="class")
+    def repaired(self):
+        rng = np.random.default_rng(7)
+        n, f, tiers, t, m = 240, 5, 4, 6, 5
+        x_rh = rng.normal(2.0, 1.0, (n, f, tiers, t))
+        x_lh = np.abs(rng.normal(100.0, 20.0, (n, t, m)))
+        # Telemetry faults: whole dropped intervals, sporadic NaN/inf
+        # channels — then the PR 2 repair (forward-fill over time).
+        x_rh[np.broadcast_to(rng.random((n, 1, 1, t)) < 0.1, x_rh.shape)] = np.nan
+        x_rh[rng.random(x_rh.shape) < 0.02] = np.inf
+        x_lh[rng.random(x_lh.shape) < 0.05] = np.nan
+        x_rh = _ffill_time(x_rh, axis=3)
+        x_lh = _ffill_time(x_lh, axis=1)
+        assert np.isfinite(x_rh).all() and np.isfinite(x_lh).all()
+        x_rc = np.abs(rng.normal(2.0, 0.5, (n, tiers)))
+        signal = x_rh[:, 0].mean(axis=(1, 2)) + 0.5 * x_rc.mean(axis=1)
+        y_lat = 100.0 + 10.0 * np.repeat(signal[:, None], m, axis=1)
+        y_viol = (
+            signal + rng.normal(0.0, 0.3, n) > np.median(signal)
+        ).astype(float)
+        return (x_rh, x_lh, x_rc), y_lat, y_viol
+
+    def test_tree_structures_match_reference(self, repaired):
+        from repro.ml.boosted_trees import BoostedTrees, BoostedTreesConfig
+
+        (x_rh, _, x_rc), _, y_viol = repaired
+        X = np.concatenate([x_rh.reshape(len(x_rh), -1), x_rc], axis=1)
+        config = BoostedTreesConfig(n_trees=30)
+
+        def fit(fast):
+            bt = BoostedTrees(config, seed=0)
+            bt.fast_train = fast
+            return bt.fit(X, y_viol)
+
+        fast, ref = fit(True), fit(False)
+        assert len(fast.trees) == len(ref.trees)
+
+        def walk(a, b):
+            assert (a is None) == (b is None)
+            if a is None:
+                return
+            assert a.feature == b.feature
+            if a.is_leaf:
+                assert a.value == pytest.approx(b.value, abs=1e-10)
+            else:
+                assert a.threshold == b.threshold
+            walk(a.left, b.left)
+            walk(a.right, b.right)
+
+        for ta, tb in zip(fast.trees, ref.trees):
+            walk(ta, tb)
+        assert np.array_equal(fast.predict_margin(X), ref.predict_margin(X))
+
+    def test_cnn_loss_trajectory_matches_reference(self, repaired):
+        from repro.ml.cnn import LatencyCNN
+
+        inputs, y_lat, _ = repaired
+        small = CNNConfig(
+            conv_channels=(4,), rh_embed=16, lh_embed=8, rc_embed=8, latent_dim=16
+        )
+
+        def fit(fast):
+            model = LatencyCNN(4, 6, 5, 5, config=small, seed=0)
+            model.set_fast_train(fast)
+            return model.fit(inputs, y_lat, epochs=4, batch_size=64, seed=3)
+
+        fast, ref = fit(True), fit(False)
+        assert fast.epochs_run == ref.epochs_run
+        np.testing.assert_allclose(
+            fast.train_loss, ref.train_loss, rtol=0, atol=1e-8
+        )

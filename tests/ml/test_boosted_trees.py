@@ -154,3 +154,112 @@ class TestInference:
         low = bt.predict_proba(np.array([[-2.0, 0.0]]))[0]
         high = bt.predict_proba(np.array([[2.0, 0.0]]))[0]
         assert high >= low
+
+
+def _fit_pair(config, X, y, X_val=None, y_val=None, seed=0):
+    """The same fit twice: histogram grower vs reference grower."""
+    fast = BoostedTrees(config, seed=seed)
+    fast.fast_train = True
+    fast.fit(X, y, X_val, y_val)
+    ref = BoostedTrees(config, seed=seed)
+    ref.fast_train = False
+    ref.fit(X, y, X_val, y_val)
+    return fast, ref
+
+
+def _assert_same_structure(fast, ref):
+    """Split-for-split equality: features and thresholds exact, leaf
+    weights to 1e-10 (the histogram grower's oracle contract)."""
+    assert len(fast.trees) == len(ref.trees)
+
+    def walk(a, b):
+        assert (a is None) == (b is None)
+        if a is None:
+            return
+        assert a.feature == b.feature
+        if a.is_leaf:
+            assert a.value == pytest.approx(b.value, abs=1e-10)
+        else:
+            assert a.threshold == b.threshold
+        walk(a.left, b.left)
+        walk(a.right, b.right)
+
+    for ta, tb in zip(fast.trees, ref.trees):
+        walk(ta, tb)
+
+
+class TestHistogramGrower:
+    """The level-wise histogram grower is a drop-in for the reference."""
+
+    def test_matches_reference_with_validation(self):
+        X, y = blobs(900, seed=4)
+        fast, ref = _fit_pair(
+            BoostedTreesConfig(n_trees=40), X[:700], y[:700], X[700:], y[700:]
+        )
+        _assert_same_structure(fast, ref)
+        assert np.array_equal(fast.predict_margin(X), ref.predict_margin(X))
+
+    def test_matches_reference_without_validation(self):
+        X, y = blobs(500, seed=5)
+        fast, ref = _fit_pair(BoostedTreesConfig(n_trees=30), X, y)
+        _assert_same_structure(fast, ref)
+        assert np.array_equal(fast.predict_margin(X), ref.predict_margin(X))
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            BoostedTreesConfig(n_trees=15, min_child_weight=5.0),
+            BoostedTreesConfig(n_trees=15, gamma=0.5),
+            BoostedTreesConfig(n_trees=15, max_depth=1),
+            BoostedTreesConfig(n_trees=15, n_bins=8),
+            BoostedTreesConfig(n_trees=15, reg_lambda=0.0),
+            BoostedTreesConfig(n_trees=15, min_child_weight=0.01),
+        ],
+        ids=["mcw", "gamma", "stumps", "coarse-bins", "no-lambda", "tiny-mcw"],
+    )
+    def test_matches_reference_across_configs(self, config):
+        X, y = blobs(400, seed=6)
+        fast, ref = _fit_pair(config, X, y)
+        _assert_same_structure(fast, ref)
+
+    def test_matches_reference_with_duplicate_columns(self):
+        """Duplicated features force exact cross-feature gain ties; the
+        tie-break must still follow the reference (first feature wins)."""
+        X, y = blobs(400, seed=7)
+        X = np.hstack([X, X[:, :3]])
+        fast, ref = _fit_pair(BoostedTreesConfig(n_trees=20), X, y)
+        _assert_same_structure(fast, ref)
+
+    def test_matches_reference_with_discrete_features(self):
+        """Few distinct values: most bins empty, ties everywhere."""
+        rng = np.random.default_rng(8)
+        X = rng.integers(0, 4, size=(300, 5)).astype(float)
+        y = ((X[:, 0] + X[:, 1] >= 4) ^ (rng.random(300) < 0.1)).astype(float)
+        fast, ref = _fit_pair(BoostedTreesConfig(n_trees=25), X, y)
+        _assert_same_structure(fast, ref)
+
+    def test_degenerate_regularization_falls_back(self):
+        """λ=0 with mcw=0 uses the reference grower outright (0/0 gains)."""
+        X, y = blobs(200, seed=9)
+        config = BoostedTreesConfig(n_trees=5, reg_lambda=0.0, min_child_weight=0.0)
+        fast, ref = _fit_pair(config, X, y)
+        _assert_same_structure(fast, ref)
+
+    def test_binize_chunked_matches_unchunked(self):
+        """Row-chunked binning is exact under ragged per-feature bin
+        counts (constant and low-cardinality columns dedupe edges)."""
+        rng = np.random.default_rng(10)
+        X = np.column_stack([
+            rng.normal(size=200),
+            np.full(200, 3.14),
+            rng.integers(0, 3, 200).astype(float),
+            rng.exponential(size=200),
+        ])
+        bt = BoostedTrees(BoostedTreesConfig(n_bins=16))
+        bt._bin_edges = bt._make_bins(X)
+        whole = bt._binize(X)
+        assert whole.dtype == np.int32
+        for chunk in (1, 7, 200, 1000):
+            chunked = bt._binize(X, chunk_rows=chunk)
+            assert chunked.dtype == np.int32
+            assert np.array_equal(chunked, whole)

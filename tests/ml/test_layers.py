@@ -168,3 +168,120 @@ class TestLSTM:
     def test_forget_bias_initialized_positive(self, rng):
         cell = LSTMCell(3, 4, rng)
         assert np.all(cell.b[4:8] == 1.0)
+
+
+class TestConv2DFastPath:
+    """im2col training path vs the einsum/tap-loop reference."""
+
+    def _run(self, layer, x, dout, fast):
+        layer.fast_train = fast
+        out = layer.forward(x, training=True)
+        dx = layer.backward(dout)
+        return out, dx, layer.dW.copy(), layer.db.copy()
+
+    def test_matches_einsum_forward_and_gradients(self, rng):
+        layer = Conv2D(3, 4, 3, rng)
+        x = rng.normal(size=(4, 3, 6, 5))
+        dout = rng.normal(size=(4, 4, 6, 5))
+        out_f, dx_f, dW_f, db_f = self._run(layer, x, dout, fast=True)
+        out_r, dx_r, dW_r, db_r = self._run(layer, x, dout, fast=False)
+        np.testing.assert_allclose(out_f, out_r, atol=1e-10)
+        np.testing.assert_allclose(dx_f, dx_r, atol=1e-10)
+        np.testing.assert_allclose(dW_f, dW_r, atol=1e-10)
+        np.testing.assert_allclose(db_f, db_r, atol=1e-10)
+
+    def test_matches_einsum_with_5x5_kernel(self, rng):
+        layer = Conv2D(2, 3, 5, rng)
+        x = rng.normal(size=(3, 2, 9, 7))
+        dout = rng.normal(size=(3, 3, 9, 7))
+        out_f, dx_f, dW_f, db_f = self._run(layer, x, dout, fast=True)
+        out_r, dx_r, dW_r, db_r = self._run(layer, x, dout, fast=False)
+        np.testing.assert_allclose(out_f, out_r, atol=1e-10)
+        np.testing.assert_allclose(dx_f, dx_r, atol=1e-10)
+        np.testing.assert_allclose(dW_f, dW_r, atol=1e-10)
+        np.testing.assert_allclose(db_f, db_r, atol=1e-10)
+
+    def test_numeric_input_gradient_on_fast_path(self, rng):
+        layer = Conv2D(2, 3, 3, rng)
+        layer.fast_train = True
+        x = rng.normal(size=(2, 2, 5, 4))
+        out = layer.forward(x, training=True)
+        dout = np.random.default_rng(0).normal(size=out.shape)
+        layer.forward(x, training=True)
+        dx = layer.backward(dout)
+        for index in [(0, 0, 0, 0), (1, 1, 4, 3), (0, 1, 2, 2)]:
+            xp = x.copy()
+            xp[index] += EPS
+            plus = (layer.forward(xp, training=True) * dout).sum()
+            minus = (layer.forward(x, training=True) * dout).sum()
+            num = (plus - minus) / EPS
+            assert abs(num - dx[index]) < TOL, (index, num, dx[index])
+
+    def test_inference_is_invariant_to_fast_train(self, rng):
+        """The decision path (training=False) must stay on einsum and be
+        bitwise identical whatever the training toggle says."""
+        layer = Conv2D(3, 4, 3, rng)
+        x = rng.normal(size=(2, 3, 6, 5))
+        layer.fast_train = True
+        on = layer.forward(x, training=False)
+        layer.fast_train = False
+        off = layer.forward(x, training=False)
+        assert np.array_equal(on, off)
+
+    def test_backward_follows_forward_mode(self, rng):
+        """A training forward then an inference forward leaves backward
+        consistent with the most recent (einsum) forward."""
+        layer = Conv2D(2, 2, 3, rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        dout = rng.normal(size=(2, 2, 4, 4))
+        layer.forward(x, training=True)
+        layer.forward(x, training=False)
+        dx_after_inference = layer.backward(dout)
+        layer.fast_train = False
+        layer.forward(x, training=True)
+        dx_reference = layer.backward(dout)
+        np.testing.assert_allclose(dx_after_inference, dx_reference, atol=1e-12)
+
+
+class TestLSTMFastPath:
+    """Fused single-GEMM gate projections vs the per-gate reference."""
+
+    def _run(self, cell, x, fast):
+        cell.fast_train = fast
+        out = cell.forward(x)
+        dout = np.random.default_rng(2).normal(size=out.shape)
+        dx = cell.backward(dout)
+        return out, dx, cell.dW.copy(), cell.db.copy()
+
+    def test_matches_reference(self, rng):
+        cell = LSTMCell(5, 8, rng)
+        x = rng.normal(size=(4, 6, 5))
+        out_f, dx_f, dW_f, db_f = self._run(cell, x, fast=True)
+        out_r, dx_r, dW_r, db_r = self._run(cell, x, fast=False)
+        np.testing.assert_allclose(out_f, out_r, atol=1e-10)
+        np.testing.assert_allclose(dx_f, dx_r, atol=1e-10)
+        np.testing.assert_allclose(dW_f, dW_r, atol=1e-10)
+        np.testing.assert_allclose(db_f, db_r, atol=1e-10)
+
+    def test_matches_reference_single_timestep(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        x = rng.normal(size=(2, 1, 3))
+        out_f, dx_f, dW_f, db_f = self._run(cell, x, fast=True)
+        out_r, dx_r, dW_r, db_r = self._run(cell, x, fast=False)
+        np.testing.assert_allclose(out_f, out_r, atol=1e-10)
+        np.testing.assert_allclose(dx_f, dx_r, atol=1e-10)
+        np.testing.assert_allclose(dW_f, dW_r, atol=1e-10)
+        np.testing.assert_allclose(db_f, db_r, atol=1e-10)
+
+    def test_buffers_survive_batch_size_change(self, rng):
+        """Preallocated gate buffers re-key on (B, T) changes."""
+        cell = LSTMCell(3, 4, rng)
+        cell.fast_train = True
+        for shape in ((4, 5, 3), (2, 5, 3), (4, 3, 3), (4, 5, 3)):
+            x = rng.normal(size=shape)
+            out = cell.forward(x)
+            cell.backward(np.ones_like(out))
+            cell.fast_train = False
+            ref = cell.forward(x)
+            cell.fast_train = True
+            np.testing.assert_allclose(out, ref, atol=1e-10)

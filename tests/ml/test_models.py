@@ -148,3 +148,49 @@ class TestMultiTask:
         value, grad = loss(pred, target)
         assert value > 0
         assert grad.shape == pred.shape
+
+
+class TestFitInstrumentation:
+    def test_epoch_wall_time_recorded(self):
+        model = LatencyMLP(N, T, F, M, hidden=(16,), seed=0)
+        inputs, y = synthetic(64)
+        result = model.fit(inputs, y, epochs=4, batch_size=32, seed=0)
+        assert len(result.epoch_time_s) == result.epochs_run == 4
+        assert all(t >= 0.0 for t in result.epoch_time_s)
+
+    def test_epoch_times_track_early_stop(self):
+        model = LatencyMLP(N, T, F, M, hidden=(16,), seed=0)
+        inputs, y = synthetic(64)
+        result = model.fit(inputs, y, inputs, y, epochs=30, patience=1, seed=0)
+        assert len(result.epoch_time_s) == result.epochs_run
+
+    def test_set_fast_train_toggles_layers(self):
+        from repro.ml.layers import Conv2D, LSTMCell
+
+        model = LatencyCNN(N, T, F, M, config=SMALL, seed=0)
+        model.set_fast_train(False)
+        toggled = [
+            layer
+            for attr in vars(model).values()
+            for layer in (attr.layers if isinstance(attr, Sequential) else [attr])
+            if isinstance(layer, (Conv2D, LSTMCell))
+        ]
+        assert toggled
+        assert all(layer.fast_train is False for layer in toggled)
+        model.set_fast_train(True)
+        assert all(layer.fast_train is True for layer in toggled)
+
+    def test_fast_and_reference_training_losses_match(self):
+        """One whole CNN fit per path: im2col/fused vs einsum/loop, same
+        data and seed — per-epoch losses agree to float rounding."""
+        inputs, y = synthetic(96)
+
+        def fit(fast):
+            model = LatencyCNN(N, T, F, M, config=SMALL, seed=0)
+            model.set_fast_train(fast)
+            return model.fit(inputs, y, epochs=3, batch_size=32, seed=1)
+
+        fast, ref = fit(True), fit(False)
+        np.testing.assert_allclose(
+            fast.train_loss, ref.train_loss, rtol=0, atol=1e-8
+        )

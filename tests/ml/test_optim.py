@@ -87,3 +87,37 @@ class TestAdam:
         opt = Adam([w], [g], lr=0.1, weight_decay=1.0)
         opt.step()
         assert w[0] < 1.0
+
+    def test_updates_in_place(self):
+        w, g = quadratic_problem()
+        ref = w
+        opt = Adam([w], [g], lr=0.1)
+        for _ in range(3):
+            g[...] = 1.0
+            opt.step()
+        assert ref is w  # same array object mutated
+
+    def test_state_buffers_stable_across_steps(self):
+        """Moment estimates and scratch are allocated once, not per step."""
+        w, g = quadratic_problem()
+        opt = Adam([w], [g], lr=0.1)
+        m0, v0 = opt._m[0], opt._v[0]
+        for _ in range(5):
+            g[...] = w
+            opt.step()
+        assert opt._m[0] is m0 and opt._v[0] is v0
+
+    def test_in_place_step_matches_formula(self):
+        """The buffered update equals the textbook Adam expressions."""
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=7)
+        g = rng.normal(size=7)
+        lr, b1, b2, eps = 0.01, 0.9, 0.999, 1e-8
+        expected_m = (1 - b1) * g
+        expected_v = (1 - b2) * g * g
+        expected = w - lr * (expected_m / (1 - b1)) / (
+            np.sqrt(expected_v / (1 - b2)) + eps
+        )
+        opt = Adam([w], [g.copy()], lr=lr, beta1=b1, beta2=b2, eps=eps)
+        opt.step()
+        np.testing.assert_allclose(w, expected, atol=1e-12)
