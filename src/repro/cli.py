@@ -10,7 +10,17 @@ Commands mirror the paper's workflow:
 * ``explain``    — LIME-style tier/resource attribution for a model,
 * ``bench``      — fast-vs-reference micro-benchmarks: the per-decision
   scoring path (``BENCH_decision.json``) or, with ``--training``, the
-  model training path (``BENCH_training.json``).
+  model training path (``BENCH_training.json``),
+* ``audit``      — inspect a decision audit log written by
+  ``run --audit-out`` (table overview, or ``--interval`` for one
+  decision's full explanation).
+
+``run`` and ``resilience`` grow observability exports (see
+:mod:`repro.obs`): ``--trace`` writes a Chrome/Perfetto-loadable trace
+(or JSONL with a ``.jsonl`` suffix), ``--metrics-out`` a Prometheus
+text (or ``.json``) metrics dump, ``--audit-out`` the per-decision
+audit JSONL.  Without these flags observability stays off and episodes
+are bitwise-identical to pre-instrumentation runs.
 """
 
 from __future__ import annotations
@@ -43,6 +53,60 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a trace of the episode: Chrome trace_event JSON "
+             "(chrome://tracing / Perfetto), or JSONL when PATH ends "
+             "in .jsonl",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write episode metrics: Prometheus text format, or JSON "
+             "when PATH ends in .json",
+    )
+    parser.add_argument(
+        "--audit-out", default=None, metavar="PATH",
+        help="write the scheduler decision audit log as JSONL "
+             "(inspect with 'repro audit PATH')",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=1, metavar="K",
+        help="trace every K-th interval/request (default 1 = all)",
+    )
+
+
+def _make_cli_recorder(args):
+    """Build an ActiveRecorder for whichever artifacts were requested,
+    or ``None`` when observability should stay off entirely."""
+    if not (args.trace or args.metrics_out or args.audit_out):
+        return None
+    from repro.obs import ActiveRecorder, AuditLog, MetricsRegistry, Tracer
+
+    return ActiveRecorder(
+        metrics=MetricsRegistry() if args.metrics_out else None,
+        tracer=Tracer(sample_every=max(args.trace_sample, 1))
+        if args.trace else None,
+        audit_log=AuditLog() if args.audit_out else None,
+        all_pillars=False,
+    )
+
+
+def _write_obs_artifacts(args, recorder) -> None:
+    if recorder is None:
+        return
+    if args.trace:
+        recorder.tracer.write(args.trace)
+        print(f"wrote trace: {args.trace} ({len(recorder.tracer)} spans)")
+    if args.metrics_out:
+        recorder.metrics.write(args.metrics_out)
+        print(f"wrote metrics: {args.metrics_out}")
+    if args.audit_out:
+        recorder.audit_log.write_jsonl(args.audit_out)
+        print(f"wrote audit log: {args.audit_out} "
+              f"({len(recorder.audit_log)} decisions)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,6 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-profile", default=None,
                      choices=sorted(FAULT_PROFILES),
                      help="inject a named fault profile into the episode")
+    _add_obs(run)
 
     sweep = sub.add_parser("sweep", help="Figure 11 comparison sweep")
     _add_common(sweep)
@@ -94,6 +159,11 @@ def _build_parser() -> argparse.ArgumentParser:
     resilience.add_argument(
         "--managers", default="sinan,autoscale-cons,static",
         help="comma-separated manager names",
+    )
+    resilience.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write harness metrics (episode counts/failures/durations): "
+             "Prometheus text, or JSON when PATH ends in .json",
     )
 
     explain = sub.add_parser("explain", help="attribute tail latency to tiers")
@@ -125,8 +195,21 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--intervals", type=int, default=25,
                        help="scheduler-replay decision intervals")
     bench.add_argument("--output", default=None,
-                       help="result JSON path ('' to skip writing; default "
+                       help="result JSON path ('' to skip writing; relative "
+                            "paths anchor to the repo root; default "
                             "BENCH_decision.json / BENCH_training.json)")
+
+    audit = sub.add_parser(
+        "audit", help="inspect a decision audit log (from run --audit-out)"
+    )
+    audit.add_argument("file", help="audit JSONL file to read")
+    audit.add_argument("--interval", type=int, default=None, metavar="N",
+                       help="explain the decision at interval N in full "
+                            "(default: one-line-per-decision table)")
+    audit.add_argument("--qos", type=float, default=None, metavar="MS",
+                       help="QoS target in ms, to annotate violations")
+    audit.add_argument("--last", type=int, default=None, metavar="K",
+                       help="limit the table to the last K decisions")
     return parser
 
 
@@ -168,13 +251,15 @@ def cmd_run(args) -> int:
     cluster = make_cluster(graph, args.users, seed=args.seed,
                            fault_profile=args.fault_profile)
     warmup = min(30, args.duration // 4)
+    recorder = _make_cli_recorder(args)
     if args.fault_profile:
         result = run_resilience_episode(
             manager, cluster, args.duration, spec.qos, warmup=warmup,
+            recorder=recorder,
         )
     else:
         result = run_episode(manager, cluster, args.duration, spec.qos,
-                             warmup=warmup)
+                             warmup=warmup, recorder=recorder)
     print(f"{manager.name} @ {args.users:g} users for {args.duration}s:")
     print(f"  mean CPU: {result.mean_total_cpu:.1f} cores "
           f"(max {result.max_total_cpu:.1f})")
@@ -191,6 +276,7 @@ def cmd_run(args) -> int:
                   f"{result.fallbacks} max-alloc fallbacks "
                   f"({result.predictor_failures} predictor failures), "
                   f"trusted={result.trusted}")
+    _write_obs_artifacts(args, recorder)
     return 0
 
 
@@ -208,13 +294,23 @@ def cmd_resilience(args) -> int:
         predictor = get_trained_predictor(
             args.app, args.budget, seed=args.seed, jobs=args.jobs
         )
+    recorder = None
+    if args.metrics_out:
+        from repro.obs import ActiveRecorder, MetricsRegistry
+
+        recorder = ActiveRecorder(
+            metrics=MetricsRegistry(), all_pillars=False
+        )
     results = sweep_resilience(
         args.app, profiles, names,
         users=args.users, duration=args.duration, seed=args.seed,
         warmup=min(30, args.duration // 4), predictor=predictor,
-        jobs=args.jobs,
+        jobs=args.jobs, recorder=recorder,
     )
     print(format_resilience_report(results))
+    if recorder is not None:
+        recorder.metrics.write(args.metrics_out)
+        print(f"wrote metrics: {args.metrics_out}")
     return 0
 
 
@@ -317,6 +413,32 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    from repro.obs import AuditLog, explain, format_audit_table
+
+    log = AuditLog.read_jsonl(args.file)
+    records = log.records()
+    if not records:
+        print(f"{args.file}: empty audit log")
+        return 1
+    if args.interval is not None:
+        record = log.find(args.interval)
+        if record is None:
+            intervals = f"{records[0].interval}..{records[-1].interval}"
+            print(f"{args.file}: no decision recorded for interval "
+                  f"{args.interval} (log covers {intervals})")
+            return 1
+        print(explain(record, qos_ms=args.qos))
+        return 0
+    if args.last is not None and args.last > 0:
+        records = records[-args.last:]
+    print(format_audit_table(records))
+    fallbacks = sum(1 for r in records if r.fallback_reason is not None)
+    print(f"{len(records)} decisions ({fallbacks} on safety/fallback "
+          f"paths); 'repro audit {args.file} --interval N' explains one")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.harness.bench import BenchConfig, format_bench, run_bench
     from repro.harness.pipeline import resolve_budget
@@ -348,7 +470,9 @@ def cmd_bench(args) -> int:
     ))
     print(format_bench(results))
     if output:
-        print(f"wrote {output}")
+        from repro.harness.bench import resolve_output
+
+        print(f"wrote {resolve_output(output)}")
     ok = all(r["bitwise_equal"] for r in results["components"])
     ok = ok and results["scheduler"]["identical_traces"]
     return 0 if ok else 1
@@ -384,7 +508,9 @@ def _cmd_bench_training(args, small: bool) -> int:
     ))
     print(format_training_bench(results))
     if output:
-        print(f"wrote {output}")
+        from repro.harness.bench import resolve_output
+
+        print(f"wrote {resolve_output(output)}")
     return 0 if results["equivalent"] else 1
 
 
@@ -402,6 +528,7 @@ def main(argv: list[str] | None = None) -> int:
         "resilience": cmd_resilience,
         "explain": cmd_explain,
         "bench": cmd_bench,
+        "audit": cmd_audit,
     }
     return handlers[args.command](args)
 

@@ -138,6 +138,16 @@ class WindowEncoder:
         state["_cache"] = None
         return state
 
+    def invalidate_cache(self) -> None:
+        """Drop the incremental history cache.
+
+        Call between episodes (the scheduler's ``reset`` does): the
+        cache's shift-by-one fast path keys on the telemetry log object
+        and its length, so a log that was cleared and refilled in place
+        could otherwise shift stale features from the previous episode.
+        """
+        self._cache = None
+
     @property
     def n_channels(self) -> int:
         return 6  # see IntervalStats.resource_matrix

@@ -281,14 +281,45 @@ class HybridPredictor:
         trunk a single time per decision instead of once per candidate.
         """
         if not self.__dict__.get("fast_path", True):
-            return self.predict_candidates_reference(log, candidates)
-        x_rh, x_lh, x_rc = self.encoder.encode_candidates_shared(log, candidates)
-        rh, lh, rc = self._model_inputs(x_rh, x_lh, x_rc)
-        latency, latent = self.cnn.predict_candidates((rh, lh, rc))
-        prob = self.trees.predict_proba(
-            self._bt_features(latent, x_rh, x_lh, x_rc)
-        )
+            latency, prob = self.predict_candidates_reference(log, candidates)
+        else:
+            x_rh, x_lh, x_rc = self.encoder.encode_candidates_shared(
+                log, candidates
+            )
+            rh, lh, rc = self._model_inputs(x_rh, x_lh, x_rc)
+            latency, latent = self.cnn.predict_candidates((rh, lh, rc))
+            prob = self.trees.predict_proba(
+                self._bt_features(latent, x_rh, x_lh, x_rc)
+            )
+        recorder = self.__dict__.get("recorder")
+        if recorder is not None and recorder.enabled:
+            self._report_scores(recorder, latency, prob)
         return latency, prob
+
+    def _report_scores(self, recorder, latency, prob) -> None:
+        """Record one scored candidate batch (metrics pillar only)."""
+        recorder.counter("predictor_batches_total")
+        recorder.counter("predictor_candidates_total", float(latency.shape[0]))
+        # The QoS metric is the highest reported percentile (p99).
+        recorder.observe_many(
+            "predictor_p99_ms", latency[:, -1], buckets=self._score_buckets()
+        )
+        recorder.observe_many(
+            "predictor_violation_prob",
+            prob,
+            buckets=(0.005, 0.01, 0.02, 0.05, 0.08, 0.1, 0.2, 0.5, 0.9),
+        )
+
+    def _score_buckets(self) -> tuple[float, ...]:
+        """Latency buckets scaled to this model's validation error."""
+        buckets = self.__dict__.get("_lat_buckets")
+        if buckets is None:
+            base = max(float(self.rmse_val), 1.0)
+            buckets = self._lat_buckets = tuple(
+                round(base * f, 3)
+                for f in (1.0, 2.5, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0)
+            )
+        return buckets
 
     def predict_candidates_reference(
         self, log: TelemetryLog, candidates: np.ndarray
@@ -336,6 +367,15 @@ class HybridPredictor:
     #: tagged envelope and carries predictors whose boosted trees are
     #: compiled to arrays; bump when the stored state changes shape.
     SAVE_FORMAT = 2
+
+    def __getstate__(self) -> dict:
+        # Observability state is per-episode, not part of the model:
+        # serialized predictors start detached (same shape as format-2
+        # checkpoints written before instrumentation existed).
+        state = dict(self.__dict__)
+        state.pop("recorder", None)
+        state.pop("_lat_buckets", None)
+        return state
 
     def save(self, path) -> None:
         """Serialize the trained predictor (weights, trees, normalizer).

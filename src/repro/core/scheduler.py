@@ -27,6 +27,7 @@ latency blocks reclamation until a trustworthy reading returns.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,7 +36,43 @@ from repro.core.actions import Action, ActionKind, ActionSpace
 from repro.core.manager import Manager
 from repro.core.predictor import HybridPredictor
 from repro.core.qos import QoSTarget
+from repro.obs.audit import (
+    REASON_BOOST,
+    REASON_NO_ACCEPTABLE,
+    REASON_PREDICTOR_FAILURE,
+    AuditRecord,
+)
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.sim.telemetry import TelemetryLog
+
+#: Decision wall-time buckets (milliseconds); sized around the measured
+#: fast-path latency in ``BENCH_decision.json``.
+_DECISION_MS_BUCKETS: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+)
+
+
+class _DecisionNote:
+    """Scratch the decision path fills in for the audit record.
+
+    Only allocated when a recorder is enabled; ``_decide`` receives
+    ``None`` otherwise and skips every annotation.
+    """
+
+    __slots__ = (
+        "n_candidates",
+        "chosen_kind",
+        "predicted_ms",
+        "violation_prob",
+        "fallback_reason",
+    )
+
+    def __init__(self) -> None:
+        self.n_candidates = 0
+        self.chosen_kind = "hold"
+        self.predicted_ms = float("nan")
+        self.violation_prob = float("nan")
+        self.fallback_reason: str | None = None
 
 
 @dataclass(frozen=True)
@@ -95,6 +132,9 @@ class OnlineScheduler(Manager):
             self.config.p_down if self.config.p_down is not None else calibrated_down
         )
         self.p_up = self.config.p_up if self.config.p_up is not None else calibrated_up
+        self.recorder: Recorder = NULL_RECORDER
+        """Observability handle (no-op by default; see
+        :func:`repro.obs.recorder.attach_recorder`)."""
         self.reset()
 
     def reset(self) -> None:
@@ -113,6 +153,14 @@ class OnlineScheduler(Manager):
         self.prediction_trace: list[dict[str, float]] = []
         """Per-decision record of predicted vs measured latency and the
         hold action's violation probability (drives paper Figure 12)."""
+        # The encoder's incremental history cache keys on the telemetry
+        # log object; drop it so a reused scheduler starting a fresh
+        # episode cannot shift features from the previous one.
+        encoder = getattr(self.predictor, "encoder", None)
+        if encoder is not None:
+            invalidate = getattr(encoder, "invalidate_cache", None)
+            if invalidate is not None:
+                invalidate()
 
     # ------------------------------------------------------------------
 
@@ -128,7 +176,25 @@ class OnlineScheduler(Manager):
         :meth:`HybridPredictor.predict_candidates`, which by default uses
         the shared-trunk fast path — bit-identical to the reference path,
         so decision traces do not depend on the ``fast_path`` toggle.
+
+        When a recorder is attached and enabled, the decision is also
+        reported as a metric/span/audit record; the decision itself is
+        unchanged (``_decide`` runs identically either way).
         """
+        recorder = self.__dict__.get("recorder", NULL_RECORDER)
+        if not recorder.enabled or len(log) == 0:
+            return self._decide(log)
+        interval = self.decisions  # 0-based index of the decision below
+        note = _DecisionNote()
+        started = time.perf_counter()
+        alloc = self._decide(log, note)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        self._report(recorder, log, note, alloc, interval, elapsed_ms)
+        return alloc
+
+    def _decide(
+        self, log: TelemetryLog, note: _DecisionNote | None = None
+    ) -> np.ndarray | None:
         if len(log) == 0:
             return None
         latest = log.latest
@@ -155,6 +221,10 @@ class OnlineScheduler(Manager):
                 self.action_space.max_alloc,
             )
             self._record(measured, np.nan, 1.0)
+            if note is not None:
+                note.chosen_kind = "recovery-boost"
+                note.fallback_reason = REASON_BOOST
+                note.violation_prob = 1.0
             return boosted
 
         self._cooldown = max(self._cooldown - 1, 0)
@@ -178,6 +248,8 @@ class OnlineScheduler(Manager):
             allow_scale_down=allow_down,
         )
         candidates = np.stack([a.alloc for a in actions])
+        if note is not None:
+            note.n_candidates = len(actions)
         try:
             latency, prob = self.predictor.predict_candidates(log, candidates)
             if not (np.all(np.isfinite(latency)) and np.all(np.isfinite(prob))):
@@ -192,6 +264,10 @@ class OnlineScheduler(Manager):
             self._cooldown = self.config.down_cooldown
             chosen = self.action_space.max_allocation_action()
             self._record(measured, np.nan, 1.0, fallback=True)
+            if note is not None:
+                note.chosen_kind = "max-allocation"
+                note.fallback_reason = REASON_PREDICTOR_FAILURE
+                note.violation_prob = 1.0
             return chosen.alloc
 
         pred_qos_lat = latency[:, self.qos.percentile_index]
@@ -201,11 +277,19 @@ class OnlineScheduler(Manager):
             chosen = actions[chosen_idx]
             self._last_predicted_safe = prob[chosen_idx] < self.p_up
             self._record(measured, float(pred_qos_lat[chosen_idx]), float(prob[chosen_idx]))
+            if note is not None:
+                note.chosen_kind = chosen.kind.value
+                note.predicted_ms = float(pred_qos_lat[chosen_idx])
+                note.violation_prob = float(prob[chosen_idx])
         else:  # fallback to max allocation
             chosen = self.action_space.max_allocation_action()
             self.fallbacks += 1
             self._last_predicted_safe = False
             self._record(measured, np.nan, 1.0, fallback=True)
+            if note is not None:
+                note.chosen_kind = "max-allocation"
+                note.fallback_reason = REASON_NO_ACCEPTABLE
+                note.violation_prob = 1.0
 
         if chosen.kind in (
             ActionKind.SCALE_UP,
@@ -273,6 +357,69 @@ class OnlineScheduler(Manager):
                 "fallback": 1.0 if fallback else 0.0,
             }
         )
+
+    def _report(
+        self,
+        recorder: Recorder,
+        log: TelemetryLog,
+        note: _DecisionNote,
+        alloc: np.ndarray | None,
+        interval: int,
+        elapsed_ms: float,
+    ) -> None:
+        """Emit the metric/span/audit view of one completed decision."""
+        latest = log.latest
+        measured = self.qos.latency_of(latest)
+        chosen = latest.cpu_alloc if alloc is None else alloc
+        chosen = np.asarray(chosen, dtype=float)
+
+        recorder.counter("scheduler_decisions_total")
+        if note.fallback_reason == REASON_BOOST:
+            recorder.counter("scheduler_mispredictions_total")
+        elif note.fallback_reason is not None:
+            recorder.counter("scheduler_fallbacks_total")
+            if note.fallback_reason == REASON_PREDICTOR_FAILURE:
+                recorder.counter("scheduler_predictor_failures_total")
+        recorder.gauge("scheduler_trusted", 1.0 if self.trusted else 0.0)
+        recorder.gauge("scheduler_hold_p_ewma", self._hold_p_ewma)
+        recorder.gauge("scheduler_total_cpu_cores", float(np.nansum(chosen)))
+        recorder.observe(
+            "scheduler_decision_wall_ms", elapsed_ms,
+            buckets=_DECISION_MS_BUCKETS,
+        )
+
+        recorder.span(
+            "decide",
+            float(latest.time),
+            elapsed_ms / 1e3,
+            track="scheduler",
+            cat="decision",
+            args={
+                "interval": interval,
+                "kind": note.chosen_kind,
+                "candidates": note.n_candidates,
+                "fallback": note.fallback_reason,
+            },
+        )
+
+        recorder.audit(AuditRecord(
+            interval=interval,
+            time=float(latest.time),
+            measured_p99_ms=float(measured),
+            rps=float(latest.rps),
+            total_cpu=float(np.nansum(np.asarray(latest.cpu_alloc, dtype=float))),
+            n_candidates=note.n_candidates,
+            chosen_kind=note.chosen_kind,
+            chosen_total_cpu=float(np.nansum(chosen)),
+            predicted_p99_ms=note.predicted_ms,
+            violation_prob=note.violation_prob,
+            hold_p_ewma=float(self._hold_p_ewma),
+            fallback_reason=note.fallback_reason,
+            trusted=self.trusted,
+            mispredictions=self.mispredictions,
+            cooldown=self._cooldown,
+            chosen_alloc=tuple(float(c) for c in chosen),
+        ))
 
 
 __all__ = ["OnlineScheduler", "SchedulerConfig"]

@@ -37,6 +37,28 @@ from repro.sim.telemetry import LATENCY_PERCENTILES, TelemetryLog
 _PERCENTILES = LATENCY_PERCENTILES
 
 
+def repo_root() -> Path:
+    """Repository root, for anchoring relative benchmark outputs.
+
+    Resolved from this file's location (``src/repro/harness`` is three
+    levels below the checkout root, marked by ``pyproject.toml``) so
+    ``repro bench`` writes ``BENCH_*.json`` to the same place no matter
+    the caller's working directory.  Falls back to the CWD for
+    installed, non-checkout layouts.
+    """
+    root = Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").exists():
+        return root
+    return Path.cwd()
+
+
+def resolve_output(output: str | Path) -> Path:
+    """Absolute path for a benchmark result file: absolute paths are
+    taken as-is, relative ones anchor to :func:`repo_root`."""
+    path = Path(output)
+    return path if path.is_absolute() else repo_root() / path
+
+
 @dataclass(frozen=True)
 class BenchConfig:
     """Knobs of one ``repro bench`` invocation."""
@@ -50,6 +72,9 @@ class BenchConfig:
     tree_depth: int = 6
     decision_intervals: int = 25
     output: str = "BENCH_decision.json"
+    """Result JSON path; empty skips writing.  Relative paths resolve
+    against the repository root (see :func:`resolve_output`), not the
+    CWD."""
 
 
 @dataclass
@@ -237,7 +262,7 @@ def bench_scheduler(predictor: HybridPredictor, config: BenchConfig) -> dict:
         space = ActionSpace(graph.min_alloc(), graph.max_alloc())
         scheduler = OnlineScheduler(predictor, space, spec.qos)
         predictor.fast_path = fast
-        predictor.encoder._cache = None
+        predictor.encoder.invalidate_cache()
         trace: list[np.ndarray] = []
         spent = 0.0
         for _ in range(config.decision_intervals):
@@ -568,7 +593,9 @@ def run_training_bench(config: TrainingBenchConfig | None = None) -> dict:
         and results["end_to_end"]["quality_close"]
     )
     if config.output:
-        Path(config.output).write_text(json.dumps(results, indent=2) + "\n")
+        resolve_output(config.output).write_text(
+            json.dumps(results, indent=2) + "\n"
+        )
     return results
 
 
@@ -618,7 +645,9 @@ def run_bench(config: BenchConfig | None = None) -> dict:
         "scheduler": bench_scheduler(predictor, config),
     }
     if config.output:
-        Path(config.output).write_text(json.dumps(results, indent=2) + "\n")
+        resolve_output(config.output).write_text(
+            json.dumps(results, indent=2) + "\n"
+        )
     return results
 
 
@@ -655,6 +684,8 @@ def format_bench(results: dict) -> str:
 
 __all__ = [
     "BenchConfig",
+    "repo_root",
+    "resolve_output",
     "run_bench",
     "format_bench",
     "make_synthetic_predictor",

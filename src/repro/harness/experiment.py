@@ -50,6 +50,7 @@ def run_episode(
     duration: int,
     qos: QoSTarget,
     warmup: int = 10,
+    recorder=None,
 ) -> EpisodeResult:
     """Run ``duration`` decision intervals under ``manager``.
 
@@ -61,9 +62,17 @@ def run_episode(
     the ground-truth log unless a fault injector is corrupting the
     manager's view — while the summary metrics always score ground
     truth.
+
+    Passing a :class:`repro.obs.Recorder` attaches it to the manager,
+    cluster, and predictor for the episode; the default (``None``)
+    leaves observability off and the episode bitwise-identical.
     """
     if duration <= warmup:
         raise ValueError("duration must exceed warmup")
+    if recorder is not None:
+        from repro.obs.recorder import attach_recorder
+
+        attach_recorder(recorder, manager=manager, cluster=cluster)
     manager.reset()
     for _ in range(duration):
         alloc = manager.decide(cluster.observed)
@@ -110,6 +119,7 @@ def sweep_loads(
     warmup: int = 10,
     jobs: int | None = None,
     progress=None,
+    recorder=None,
 ) -> list[EpisodeResult]:
     """Run one episode per load level with fresh manager and cluster.
 
@@ -137,7 +147,7 @@ def sweep_loads(
         )
         for i, users in enumerate(loads)
     ]
-    summary = run_episodes(tasks, jobs=jobs, progress=progress)
+    summary = run_episodes(tasks, jobs=jobs, progress=progress, recorder=recorder)
     summary.raise_if_no_results()
     return summary.results
 

@@ -186,11 +186,29 @@ def _mp_context() -> mp.context.BaseContext:
     return mp.get_context()
 
 
+def _record_outcome(recorder, outcome: EpisodeOutcome) -> None:
+    """Harness-level metrics for one finished episode (wall-clock times
+    are real here — the harness is not part of the simulated physics)."""
+    recorder.counter("harness_episodes_total")
+    if not outcome.ok:
+        recorder.counter("harness_episode_failures_total")
+    if outcome.attempts > 1:
+        recorder.counter(
+            "harness_episode_retries_total", float(outcome.attempts - 1)
+        )
+    recorder.observe(
+        "harness_episode_seconds",
+        outcome.seconds,
+        buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0),
+    )
+
+
 def run_episodes(
     tasks: list[EpisodeTask],
     jobs: int | None = None,
     retries: int = 1,
     progress: Callable[[EpisodeOutcome, int, int], None] | None = None,
+    recorder=None,
 ) -> RunSummary:
     """Run independent episode tasks, serially or on a process pool.
 
@@ -209,10 +227,18 @@ def run_episodes(
     progress:
         Callback ``(outcome, n_done, n_total)`` fired as each episode
         finishes; defaults to an INFO log line per episode.
+    recorder:
+        Optional :class:`repro.obs.Recorder`; when enabled, episode
+        counts, failures, retries, and durations land in its metrics
+        registry.  Recording happens in this (parent) process only, so
+        it works identically for serial and pooled runs.
     """
     n_jobs = resolve_jobs(jobs)
     n_jobs = max(1, min(n_jobs, len(tasks)))
     progress = progress or _log_progress
+    record = recorder is not None and recorder.enabled
+    if record:
+        recorder.gauge("harness_jobs", float(n_jobs))
     start = time.perf_counter()
     outcomes: list[EpisodeOutcome] = []
 
@@ -220,6 +246,8 @@ def run_episodes(
         for done, task in enumerate(tasks, start=1):
             outcome = _run_task(task, retries=retries)
             outcomes.append(outcome)
+            if record:
+                _record_outcome(recorder, outcome)
             progress(outcome, done, len(tasks))
     else:
         with ProcessPoolExecutor(
@@ -242,6 +270,8 @@ def run_episodes(
                     )
                 outcomes.append(outcome)
                 done += 1
+                if record:
+                    _record_outcome(recorder, outcome)
                 progress(outcome, done, len(tasks))
         outcomes.sort(key=lambda o: o.index)
 

@@ -117,14 +117,22 @@ def run_resilience_episode(
     qos: QoSTarget,
     warmup: int = 10,
     profile_name: str | None = None,
+    recorder=None,
 ) -> ResilienceResult:
     """Run one fault-injected episode and collect resilience metrics.
 
     Works for fault-free clusters too (``n_faults`` is then 0), so the
     same scorer can baseline a manager with and without faults.
+
+    ``recorder`` attaches a :class:`repro.obs.Recorder` for the episode
+    (default off; the episode is then bitwise-identical).
     """
     if duration <= warmup:
         raise ValueError("duration must exceed warmup")
+    if recorder is not None:
+        from repro.obs.recorder import attach_recorder
+
+        attach_recorder(recorder, manager=manager, cluster=cluster)
     manager.reset()
     for _ in range(duration):
         alloc = manager.decide(cluster.observed)
@@ -205,6 +213,7 @@ def sweep_resilience(
     predictor=None,
     jobs: int | None = None,
     progress=None,
+    recorder=None,
 ) -> list[ResilienceResult]:
     """Run every (profile, manager) cell, serially or over processes.
 
@@ -231,7 +240,7 @@ def sweep_resilience(
                     predictor=predictor if manager_name == "sinan" else None,
                 ),
             ))
-    summary = run_episodes(tasks, jobs=jobs, progress=progress)
+    summary = run_episodes(tasks, jobs=jobs, progress=progress, recorder=recorder)
     summary.raise_if_no_results()
     return summary.results
 

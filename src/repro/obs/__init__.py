@@ -1,0 +1,60 @@
+"""Observability subsystem: metrics, tracing, and decision audit.
+
+Zero-dependency instrumentation for the Sinan reproduction, in three
+pillars plus a dispatch handle:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms with O(1) record, exported as Prometheus text or JSON;
+* :mod:`repro.obs.tracing` — spans on explicit simulation-time clocks,
+  exported as JSONL or Chrome ``trace_event`` JSON (Perfetto-loadable);
+* :mod:`repro.obs.audit` — one structured record per scheduler
+  decision in a bounded ring buffer, inspectable via ``repro audit``;
+* :mod:`repro.obs.recorder` — the :class:`Recorder` handle every
+  instrumented component reports through.  The default is a shared
+  no-op (:data:`NULL_RECORDER`): with observability off, instrumented
+  code paths produce bitwise-identical outputs and their overhead is a
+  single attribute check per report site.
+
+Attach an :class:`ActiveRecorder` with :func:`attach_recorder` (or the
+``recorder`` keyword of the episode runners / ``repro run --trace``)
+to collect everything for one episode.
+"""
+
+from repro.obs.audit import (
+    AuditLog,
+    AuditRecord,
+    explain,
+    format_audit_table,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    ActiveRecorder,
+    Recorder,
+    attach_recorder,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "explain",
+    "format_audit_table",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Recorder",
+    "ActiveRecorder",
+    "NULL_RECORDER",
+    "attach_recorder",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,221 @@
+"""Scheduler decision audit log: one structured record per decision.
+
+Third pillar of the observability subsystem, and the reproduction of
+the explainability angle of the paper's evaluation (Section 7): after
+an episode, every allocation can be traced back to *why* it was chosen
+— what the scheduler observed, how many candidate actions survived
+pruning, which action won, what the CNN/Boosted-Trees scores were, and
+whether a safety mechanism (unpredicted-violation boost, max-allocation
+fallback) overrode the model.
+
+Records live in a bounded ring buffer (:class:`AuditLog`) so a
+long-running deployment holds the most recent window at fixed memory;
+eviction is strictly oldest-first.  ``repro audit`` reads the JSONL
+export and renders either a one-line-per-decision table or a full
+explanation of a single interval.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: ``fallback_reason`` values an :class:`AuditRecord` can carry.
+REASON_BOOST = "unpredicted-violation-boost"
+REASON_PREDICTOR_FAILURE = "predictor-failure"
+REASON_NO_ACCEPTABLE = "no-acceptable-action"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """Everything needed to explain one scheduler decision."""
+
+    interval: int
+    """Decision index within the episode (0-based)."""
+
+    time: float
+    """Simulation time (seconds) of the telemetry the decision read."""
+
+    measured_p99_ms: float
+    """Observed tail latency driving the safety checks (NaN = unknown)."""
+
+    rps: float
+    """Observed offered load in the latest interval."""
+
+    total_cpu: float
+    """Aggregate CPU allocation the decision started from."""
+
+    n_candidates: int
+    """Candidate actions scored (0 when scoring was skipped)."""
+
+    chosen_kind: str
+    """Action kind (``hold`` / ``scale_up`` / ... / ``max-allocation`` /
+    ``recovery-boost``)."""
+
+    chosen_total_cpu: float
+    """Aggregate CPU of the chosen allocation."""
+
+    predicted_p99_ms: float = float("nan")
+    """CNN-predicted tail latency of the chosen action (NaN on safety
+    paths that skip scoring)."""
+
+    violation_prob: float = float("nan")
+    """Boosted-Trees violation probability of the chosen action."""
+
+    hold_p_ewma: float = float("nan")
+    """Smoothed hold-action violation probability after this decision."""
+
+    fallback_reason: str | None = None
+    """Why the model's choice was overridden, or ``None``."""
+
+    trusted: bool = True
+    mispredictions: int = 0
+    cooldown: int = 0
+    chosen_alloc: tuple[float, ...] = field(default_factory=tuple)
+    """Per-tier cores of the chosen allocation (empty when holding)."""
+
+    def to_json(self) -> dict:
+        out = asdict(self)
+        out["chosen_alloc"] = list(self.chosen_alloc)
+        return out
+
+    @staticmethod
+    def from_json(data: dict) -> "AuditRecord":
+        data = dict(data)
+        data["chosen_alloc"] = tuple(data.get("chosen_alloc") or ())
+        return AuditRecord(**data)
+
+
+class AuditLog:
+    """Bounded ring buffer of :class:`AuditRecord`; oldest evicted first."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._records: deque[AuditRecord] = deque(maxlen=capacity)
+        self.evicted = 0
+        """Records dropped (oldest-first) once the buffer filled."""
+
+    def append(self, record: AuditRecord) -> None:
+        if len(self._records) == self.capacity:
+            self.evicted += 1
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(self) -> list[AuditRecord]:
+        """Records oldest to newest."""
+        return list(self._records)
+
+    def find(self, interval: int) -> AuditRecord | None:
+        for record in self._records:
+            if record.interval == interval:
+                return record
+        return None
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.evicted = 0
+
+    # -- persistence ---------------------------------------------------
+
+    def write_jsonl(self, path) -> None:
+        lines = [json.dumps(r.to_json()) for r in self._records]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @staticmethod
+    def read_jsonl(path) -> "AuditLog":
+        text = Path(path).read_text()
+        records = [
+            AuditRecord.from_json(json.loads(line))
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        log = AuditLog(capacity=max(len(records), 1))
+        for record in records:
+            log.append(record)
+        return log
+
+
+def explain(record: AuditRecord, qos_ms: float | None = None) -> str:
+    """Human-readable account of why the recorded action was picked."""
+    lines = [
+        f"interval {record.interval} (t={record.time:.0f}s)",
+        f"  observed: p99={record.measured_p99_ms:.1f}ms, "
+        f"rps={record.rps:.0f}, total_cpu={record.total_cpu:.1f}",
+    ]
+    if qos_ms is not None:
+        state = "VIOLATING" if record.measured_p99_ms > qos_ms else "meeting QoS"
+        lines[-1] += f" ({state}, QoS={qos_ms:.0f}ms)"
+    if record.fallback_reason == REASON_BOOST:
+        lines.append(
+            "  decision: unpredicted QoS violation -> immediate recovery "
+            f"boost to {record.chosen_total_cpu:.1f} cores (candidates not "
+            "scored; misprediction counter now "
+            f"{record.mispredictions})"
+        )
+    elif record.fallback_reason == REASON_PREDICTOR_FAILURE:
+        lines.append(
+            "  decision: predictor raised or returned non-finite scores "
+            f"-> max-allocation safety action "
+            f"({record.chosen_total_cpu:.1f} cores)"
+        )
+    elif record.fallback_reason == REASON_NO_ACCEPTABLE:
+        lines.append(
+            f"  decision: {record.n_candidates} candidates scored, none "
+            "acceptable (every action above the latency margin or "
+            "violation thresholds) -> max-allocation safety action "
+            f"({record.chosen_total_cpu:.1f} cores)"
+        )
+    else:
+        lines.append(
+            f"  decision: {record.chosen_kind} chosen from "
+            f"{record.n_candidates} candidates -> "
+            f"{record.chosen_total_cpu:.1f} cores"
+        )
+        lines.append(
+            f"  model: predicted p99={record.predicted_p99_ms:.1f}ms, "
+            f"violation prob={record.violation_prob:.3f} "
+            f"(hold EWMA {record.hold_p_ewma:.3f})"
+        )
+    lines.append(
+        f"  safety state: trusted={record.trusted}, "
+        f"mispredictions={record.mispredictions}, "
+        f"reclaim cooldown={record.cooldown}"
+    )
+    return "\n".join(lines)
+
+
+def format_audit_table(records: list[AuditRecord]) -> str:
+    """One line per decision (the ``repro audit`` overview)."""
+    header = (
+        f"{'ivl':>5} {'t(s)':>6} {'p99(ms)':>8} {'cands':>5} "
+        f"{'chosen':>16} {'cpu':>7} {'p_viol':>7} {'why':<28}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.interval:>5} {r.time:>6.0f} {r.measured_p99_ms:>8.1f} "
+            f"{r.n_candidates:>5} {r.chosen_kind:>16} "
+            f"{r.chosen_total_cpu:>7.1f} "
+            f"{r.violation_prob:>7.3f} {(r.fallback_reason or '-'):<28}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "AuditRecord",
+    "AuditLog",
+    "explain",
+    "format_audit_table",
+    "REASON_BOOST",
+    "REASON_PREDICTOR_FAILURE",
+    "REASON_NO_ACCEPTABLE",
+]

@@ -1,0 +1,306 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the first pillar of the observability subsystem.  It is
+deliberately tiny and dependency-free: instruments are plain Python
+objects updated in place, so recording a sample costs a dict lookup (or
+nothing, when the caller caches the instrument handle) plus an O(1)
+update — a histogram record is one ``bisect`` over its *fixed* bucket
+bounds, independent of how many samples were recorded before it.
+
+Instruments are identified by ``(name, sorted label pairs)``, the same
+model Prometheus uses.  Two exporters are provided:
+
+* :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` comments, one
+  ``name{labels} value`` line per sample, cumulative ``_bucket`` lines
+  with an ``+Inf`` terminator for histograms);
+* :meth:`MetricsRegistry.to_json` — a stable JSON rendering of
+  :meth:`MetricsRegistry.snapshot`.
+
+Both renderings are sorted (by metric name, then label values), so the
+output is deterministic for a deterministic run.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default histogram bucket upper bounds (generic latency-ish scale,
+#: milliseconds or seconds alike); callers pick their own per metric.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (set, not accumulated)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with O(1) record.
+
+    ``bounds`` are the ascending bucket *upper* bounds; an implicit
+    ``+Inf`` bucket catches everything above the last bound.  Recording
+    is a single bisect over the fixed bound tuple — its cost never
+    depends on how much data the histogram already holds.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly ascending: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def observe_many(self, values) -> None:
+        """Vectorized :meth:`observe` for a batch (e.g. per-candidate
+        predictor scores): one ``searchsorted`` instead of B bisects."""
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self.bounds, arr, side="left")
+        for i, n in zip(*np.unique(idx, return_counts=True)):
+            self.counts[int(i)] += int(n)
+        self.sum += float(arr.sum())
+        self.count += int(arr.size)
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus-style cumulative bucket counts (ending at +Inf)."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+@dataclass
+class _Family:
+    """All instruments sharing one metric name."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str = ""
+    buckets: tuple[float, ...] | None = None
+    instruments: dict[_LabelKey, Counter | Gauge | Histogram] = field(
+        default_factory=dict
+    )
+
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+class MetricsRegistry:
+    """Registry of named, labeled instruments with snapshot/reset."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- get-or-create -------------------------------------------------
+
+    def _family(
+        self, name: str, kind: str, help: str, buckets: tuple[float, ...] | None
+    ) -> _Family:
+        if not name or set(name) - _NAME_OK or name[0].isdigit():
+            raise ValueError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name=name, kind=kind, help=help, buckets=buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        family = self._family(name, "counter", help, None)
+        key = _label_key(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        family = self._family(name, "gauge", help, None)
+        key = _label_key(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Gauge()
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        family = self._family(name, "histogram", help, tuple(buckets))
+        key = _label_key(labels)
+        inst = family.instruments.get(key)
+        if inst is None:
+            inst = family.instruments[key] = Histogram(family.buckets)
+        return inst
+
+    # -- lifecycle -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations and help text."""
+        for family in self._families.values():
+            for key, inst in family.instruments.items():
+                if isinstance(inst, Histogram):
+                    family.instruments[key] = Histogram(inst.bounds)
+                elif isinstance(inst, Counter):
+                    family.instruments[key] = Counter()
+                else:
+                    family.instruments[key] = Gauge()
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (stable ordering)."""
+        out: dict = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = []
+            for key in sorted(family.instruments):
+                inst = family.instruments[key]
+                labels = dict(key)
+                if isinstance(inst, Histogram):
+                    samples.append({
+                        "labels": labels,
+                        "count": inst.count,
+                        "sum": inst.sum,
+                        "buckets": {
+                            _format_value(b): c
+                            for b, c in zip(inst.bounds, inst.cumulative_counts())
+                        },
+                        "inf": inst.count,
+                    })
+                else:
+                    samples.append({"labels": labels, "value": inst.value})
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    # -- exporters -----------------------------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """Render the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.instruments):
+                inst = family.instruments[key]
+                if isinstance(inst, Histogram):
+                    for bound, cum in zip(
+                        inst.bounds, inst.cumulative_counts()
+                    ):
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_format_labels(key, (('le', _format_value(bound)),))}"
+                            f" {cum}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_format_labels(key, (('le', '+Inf'),))}"
+                        f" {inst.count}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} {_format_value(inst.sum)}"
+                    )
+                    lines.append(f"{name}_count{_format_labels(key)} {inst.count}")
+                else:
+                    lines.append(
+                        f"{name}{_format_labels(key)} {_format_value(inst.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent) + "\n"
+
+    def write(self, path) -> None:
+        """Write to ``path``: ``.json`` gets the JSON export, anything
+        else the Prometheus text format."""
+        from pathlib import Path
+
+        path = Path(path)
+        if path.suffix == ".json":
+            path.write_text(self.to_json())
+        else:
+            path.write_text(self.to_prometheus_text())
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]

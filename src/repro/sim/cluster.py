@@ -195,6 +195,16 @@ class ClusterSimulator:
             observed = self.faults.observe(stats)
             if observed is not None:
                 self.observed.append(observed)
+            recorder = self.__dict__.get("recorder")
+            if recorder is not None and recorder.enabled:
+                recorder.counter("faults_observed_intervals_total")
+                if observed is None:
+                    recorder.counter("faults_telemetry_blackouts_total")
+                elif not (
+                    np.all(np.isfinite(np.asarray(observed.latency_ms, dtype=float)))
+                    and np.all(np.isfinite(np.asarray(observed.cpu_util, dtype=float)))
+                ):
+                    recorder.counter("faults_corrupted_intervals_total")
         return stats
 
     def run(self, duration: int, allocs: np.ndarray | None = None) -> TelemetryLog:

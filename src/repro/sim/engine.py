@@ -39,6 +39,12 @@ _EPS = 1e-9
 #: fluid model finite when a tier is fully stalled.
 _MAX_SOJOURN = 30.0
 
+#: Interval p99 buckets (milliseconds) for the metrics pillar.
+_P99_MS_BUCKETS: tuple[float, ...] = (
+    5.0, 10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0,
+    500.0, 1000.0, 2500.0, 5000.0,
+)
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -150,6 +156,10 @@ class QueueingEngine:
         self._burst_start = -1.0
         self._burst_until = -1.0
         self._burst_mult = 1.0
+        self._intervals = 0
+        self.recorder = None
+        """Observability handle; ``None``/no-op means off (see
+        :func:`repro.obs.recorder.attach_recorder`)."""
 
     def _build_levels(self) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
         """Group tiers into dependency levels for vectorized sojourn math.
@@ -193,6 +203,7 @@ class QueueingEngine:
         self._burst_start = -1.0
         self._burst_until = -1.0
         self._burst_mult = 1.0
+        self._intervals = 0
         if seed is not None:
             self._rng = np.random.default_rng(seed)
 
@@ -414,7 +425,7 @@ class QueueingEngine:
             name: float(count)
             for name, count in zip(graph.type_names, type_counts)
         }
-        return IntervalStats(
+        stats = IntervalStats(
             time=self.time,
             rps=total_rps,
             rps_by_type=rps_by_type,
@@ -429,6 +440,43 @@ class QueueingEngine:
             drops=float(drops_total.sum()),
             latency_samples_ms=latency_samples * 1000.0,
         )
+        self._intervals = self.__dict__.get("_intervals", 0) + 1
+        recorder = self.__dict__.get("recorder")
+        if recorder is not None and recorder.enabled:
+            self._report_interval(recorder, stats)
+        return stats
+
+    def _report_interval(self, recorder, stats: IntervalStats) -> None:
+        """Metrics (and sampled per-tier spans) for one interval."""
+        index = self._intervals - 1  # 0-based index of the interval above
+        recorder.counter("engine_intervals_total")
+        recorder.counter("engine_requests_total", stats.rps)
+        if stats.drops:
+            recorder.counter("engine_drops_total", stats.drops)
+        recorder.observe(
+            "engine_interval_p99_ms", stats.p99_ms, buckets=_P99_MS_BUCKETS
+        )
+        for i, name in enumerate(self.graph.tier_names):
+            recorder.gauge("engine_queue_depth", float(stats.queue[i]), tier=name)
+            recorder.gauge("engine_cpu_util", float(stats.cpu_util[i]), tier=name)
+            recorder.gauge(
+                "engine_cpu_alloc_cores", float(stats.cpu_alloc[i]), tier=name
+            )
+        if recorder.sampled(index):
+            start = max(stats.time - 1.0, 0.0)
+            for i, name in enumerate(self.graph.tier_names):
+                recorder.span(
+                    name,
+                    start,
+                    float(self._sojourn[i]),
+                    track=f"tier:{name}",
+                    cat="tier",
+                    args={
+                        "interval": index,
+                        "queue": float(stats.queue[i]),
+                        "util": round(float(stats.cpu_util[i]), 4),
+                    },
+                )
 
     # ------------------------------------------------------------------
     # Latency synthesis

@@ -59,6 +59,9 @@ class _Request:
     stage: int = 0
     pending: int = 0
     dropped: bool = False
+    sampled: bool = False
+    """Deterministically chosen for tracing (every tier visit of a
+    sampled request becomes a span)."""
 
 
 @dataclass
@@ -114,6 +117,10 @@ class EventDrivenEngine:
         self.time = 0.0
         self.latencies: list[tuple[float, float]] = []
         self.dropped = 0
+        self._arrivals = 0
+        self.recorder = None
+        """Observability handle; ``None``/no-op means off (see
+        :func:`repro.obs.recorder.attach_recorder`)."""
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -128,6 +135,8 @@ class EventDrivenEngine:
         if tier.busy < tier.servers:
             tier.busy += 1
             svc = tier.service_time(visit.work, self._rng)
+            if visit.request.sampled:
+                self._visit_span(tier_idx, self.time, svc)
             self._push(self.time + svc, "done", (tier_idx, visit))
         elif len(tier.queue) < self.config.max_queue:
             tier.queue.append(visit)
@@ -156,6 +165,26 @@ class EventDrivenEngine:
             self.config.drop_latency if timeout else self.time - request.arrival
         )
         self.latencies.append((self.time, min(latency, self.config.drop_latency)))
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled:
+            recorder.counter("des_requests_total")
+            if timeout:
+                recorder.counter("des_drops_total")
+            if request.sampled:
+                recorder.span(
+                    self.graph.type_names[request.rtype],
+                    request.arrival,
+                    self.time - request.arrival,
+                    track="requests",
+                    cat="request",
+                    args={"dropped": timeout},
+                )
+
+    def _visit_span(self, tier_idx: int, start: float, duration: float) -> None:
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled:
+            name = self.graph.tier_names[tier_idx]
+            recorder.span(name, start, duration, track=f"tier:{name}", cat="visit")
 
     # ------------------------------------------------------------------
     # Simulation
@@ -206,6 +235,10 @@ class EventDrivenEngine:
             self.time = when
             if kind == "arrive":
                 request = _Request(rtype=payload, arrival=when)
+                recorder = self.recorder
+                if recorder is not None and recorder.enabled:
+                    request.sampled = recorder.sampled(self._arrivals)
+                    self._arrivals += 1
                 self._dispatch_stage(request)
             else:  # service completion
                 tier_idx, visit = payload
@@ -214,6 +247,8 @@ class EventDrivenEngine:
                 if tier.queue:
                     nxt = tier.queue.popleft()
                     svc = tier.service_time(nxt.work, self._rng)
+                    if nxt.request.sampled:
+                        self._visit_span(tier_idx, when, svc)
                     self._push(when + svc, "done", (tier_idx, nxt))
                 else:
                     tier.busy -= 1

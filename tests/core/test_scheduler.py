@@ -287,6 +287,70 @@ class TestBookkeeping:
         assert sched.prediction_trace == []
         assert sched.decisions == 0
 
+    def test_reset_equals_fresh_scheduler(self):
+        """After a messy episode (misprediction, predictor failure,
+        fallback), reset() must restore *every* piece of per-episode
+        state: a reset scheduler replays a decision sequence exactly
+        like a fresh one."""
+        def boom(_alloc):
+            raise RuntimeError("predictor down")
+
+        stub = StubPredictor()
+        used = make_scheduler(stub)
+        used.decide(make_log(p99=100.0))
+        used.decide(make_log(p99=400.0))  # unpredicted violation
+        stub.latency_fn = boom
+        used.decide(make_log(p99=100.0))  # predictor failure fallback
+        stub.latency_fn = lambda alloc: 100.0
+        used.decide(make_log(p99=190.0, util=0.9))
+        used.reset()
+
+        fresh = make_scheduler(StubPredictor())
+        assert used.mispredictions == fresh.mispredictions == 0
+        assert used.decisions == fresh.decisions == 0
+        assert used.fallbacks == fresh.fallbacks == 0
+        assert used.predictor_failures == fresh.predictor_failures == 0
+        assert used._last_predicted_safe is fresh._last_predicted_safe is True
+        assert used._hold_p_ewma == fresh._hold_p_ewma == 0.0
+        assert used._cooldown == fresh._cooldown == 0
+        np.testing.assert_array_equal(used._victim_age, fresh._victim_age)
+
+        # Identical replays, decision by decision and state by state.
+        for p99, util in [(100.0, 0.3), (150.0, 0.7), (400.0, 0.5),
+                          (100.0, 0.3), (100.0, 0.2)]:
+            log = make_log(p99=p99, util=util)
+            a = used.decide(log)
+            b = fresh.decide(log)
+            np.testing.assert_array_equal(a, b)
+        assert used.prediction_trace == fresh.prediction_trace
+        assert used.mispredictions == fresh.mispredictions
+        assert used._hold_p_ewma == fresh._hold_p_ewma
+
+    def test_reset_invalidates_encoder_cache(self):
+        """reset() must drop the predictor's incremental history cache:
+        it is per-episode state living outside the scheduler."""
+
+        class _Encoder:
+            def __init__(self):
+                self.invalidated = 0
+
+            def invalidate_cache(self):
+                self.invalidated += 1
+
+        stub = StubPredictor()
+        stub.encoder = _Encoder()
+        sched = make_scheduler(stub)  # __init__ calls reset() once
+        assert stub.encoder.invalidated == 1
+        sched.decide(make_log())
+        sched.reset()
+        assert stub.encoder.invalidated == 2
+
+    def test_reset_without_encoder_attribute(self):
+        """Predictors without an encoder (stubs, baselines) stay fine."""
+        sched = make_scheduler(StubPredictor())
+        sched.reset()
+        assert sched.decisions == 0
+
     def test_calibrated_thresholds_used_when_config_none(self):
         sched = make_scheduler(StubPredictor(), p_down=None, p_up=None)
         assert sched.p_down == pytest.approx(0.02)

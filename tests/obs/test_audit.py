@@ -1,0 +1,140 @@
+"""Audit log: records, ring buffer, persistence, and explanations."""
+
+import math
+
+import pytest
+
+from repro.obs.audit import (
+    REASON_BOOST,
+    REASON_NO_ACCEPTABLE,
+    REASON_PREDICTOR_FAILURE,
+    AuditLog,
+    AuditRecord,
+    explain,
+    format_audit_table,
+)
+
+
+def make_record(interval: int = 0, **overrides) -> AuditRecord:
+    base = dict(
+        interval=interval,
+        time=float(interval),
+        measured_p99_ms=120.0,
+        rps=800.0,
+        total_cpu=12.0,
+        n_candidates=9,
+        chosen_kind="scale_up",
+        chosen_total_cpu=14.0,
+        predicted_p99_ms=95.0,
+        violation_prob=0.02,
+        hold_p_ewma=0.05,
+        chosen_alloc=(4.0, 6.0, 4.0),
+    )
+    base.update(overrides)
+    return AuditRecord(**base)
+
+
+class TestAuditRecord:
+    def test_json_round_trip(self):
+        record = make_record(3, fallback_reason=REASON_BOOST, trusted=False)
+        restored = AuditRecord.from_json(record.to_json())
+        assert restored == record
+        assert isinstance(restored.chosen_alloc, tuple)
+
+    def test_nan_defaults_survive_construction(self):
+        record = AuditRecord(
+            interval=0, time=0.0, measured_p99_ms=float("nan"), rps=0.0,
+            total_cpu=1.0, n_candidates=0, chosen_kind="hold",
+            chosen_total_cpu=1.0,
+        )
+        assert math.isnan(record.predicted_p99_ms)
+        assert record.fallback_reason is None
+        assert record.chosen_alloc == ()
+
+
+class TestAuditLog:
+    def test_ring_buffer_evicts_oldest_first(self):
+        log = AuditLog(capacity=3)
+        for i in range(5):
+            log.append(make_record(i))
+        assert len(log) == 3
+        assert [r.interval for r in log.records()] == [2, 3, 4]
+        assert log.evicted == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AuditLog(capacity=0)
+
+    def test_find_and_clear(self):
+        log = AuditLog()
+        log.append(make_record(7))
+        assert log.find(7).interval == 7
+        assert log.find(8) is None
+        log.clear()
+        assert len(log) == 0
+        assert log.evicted == 0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = AuditLog()
+        log.append(make_record(0))
+        log.append(make_record(1, fallback_reason=REASON_NO_ACCEPTABLE,
+                               chosen_kind="max-allocation"))
+        path = tmp_path / "audit.jsonl"
+        log.write_jsonl(path)
+        restored = AuditLog.read_jsonl(path)
+        assert restored.records() == log.records()
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        AuditLog().write_jsonl(path)
+        assert len(AuditLog.read_jsonl(path)) == 0
+
+
+class TestExplain:
+    def test_model_path_mentions_scores(self):
+        text = explain(make_record(), qos_ms=200.0)
+        assert "scale_up chosen from 9 candidates" in text
+        assert "predicted p99=95.0ms" in text
+        assert "meeting QoS" in text
+
+    def test_violation_state_against_qos(self):
+        text = explain(make_record(measured_p99_ms=300.0), qos_ms=200.0)
+        assert "VIOLATING" in text
+
+    def test_boost_path(self):
+        text = explain(make_record(
+            fallback_reason=REASON_BOOST, chosen_kind="recovery-boost",
+            n_candidates=0, mispredictions=2,
+        ))
+        assert "unpredicted QoS violation" in text
+        assert "misprediction counter now 2" in text
+
+    def test_predictor_failure_path(self):
+        text = explain(make_record(
+            fallback_reason=REASON_PREDICTOR_FAILURE,
+            chosen_kind="max-allocation", n_candidates=0,
+        ))
+        assert "predictor raised" in text
+        assert "max-allocation" in text
+
+    def test_no_acceptable_path(self):
+        text = explain(make_record(
+            fallback_reason=REASON_NO_ACCEPTABLE,
+            chosen_kind="max-allocation",
+        ))
+        assert "9 candidates scored, none" in text
+
+    def test_safety_state_always_present(self):
+        text = explain(make_record(trusted=False, cooldown=3))
+        assert "trusted=False" in text
+        assert "reclaim cooldown=3" in text
+
+
+def test_format_audit_table():
+    records = [make_record(0), make_record(1, fallback_reason=REASON_BOOST)]
+    table = format_audit_table(records)
+    lines = table.splitlines()
+    assert len(lines) == 4  # header + rule + 2 rows
+    assert "chosen" in lines[0]
+    assert REASON_BOOST in lines[3]
+    assert lines[2].strip().startswith("0")

@@ -1,0 +1,176 @@
+"""Metrics registry: instruments, labels, lifecycle, and exporters."""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge()
+        g.set(4.0)
+        g.inc(-1.5)
+        assert g.value == 2.5
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 1.0, 3.0, 10.0, 99.0):
+            h.observe(v)
+        # le semantics: a sample equal to a bound lands in that bucket.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(113.5)
+        assert h.cumulative_counts() == [2, 3, 4, 5]
+
+    def test_histogram_requires_ascending_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_observe_many_matches_scalar_observe(self):
+        values = np.random.default_rng(0).uniform(0, 1200, size=500)
+        batch = Histogram(DEFAULT_BUCKETS)
+        scalar = Histogram(DEFAULT_BUCKETS)
+        batch.observe_many(values)
+        for v in values:
+            scalar.observe(v)
+        assert batch.counts == scalar.counts
+        assert batch.count == scalar.count
+        assert batch.sum == pytest.approx(scalar.sum)
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram()
+        h.observe_many([])
+        assert h.count == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+        assert reg.counter("x_total", tier="a") is not reg.counter(
+            "x_total", tier="b"
+        )
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("g", tier="nginx", app="social")
+        b = reg.gauge("g", app="social", tier="nginx")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="counter"):
+            reg.gauge("x_total")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "9starts_with_digit", "has space", "has-dash"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", help="things").inc(5)
+        reg.histogram("h_ms").observe(3.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert set(snap) == {"c_total", "h_ms"}
+        assert snap["c_total"]["help"] == "things"
+        assert snap["c_total"]["samples"][0]["value"] == 0.0
+        assert snap["h_ms"]["samples"][0]["count"] == 0
+
+
+#: One Prometheus sample line: name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_]+=\"[^\"]*\""            # first label
+    r"(,[a-zA-Z_]+=\"[^\"]*\")*\})?"       # further labels
+    r" (-?[0-9.e+-]+|NaN)$"                # value
+)
+
+
+class TestExporters:
+    def make_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("decisions_total", help="scheduler decisions").inc(42)
+        reg.gauge("queue_depth", tier="nginx").set(3.0)
+        reg.gauge("queue_depth", tier="redis").set(0.0)
+        h = reg.histogram("p99_ms", buckets=(50.0, 100.0, 250.0))
+        h.observe(40.0)
+        h.observe(180.0)
+        h.observe(9000.0)
+        return reg
+
+    def test_prometheus_text_parses_line_by_line(self):
+        text = self.make_registry().to_prometheus_text()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line)
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_prometheus_histogram_is_cumulative_with_inf(self):
+        text = self.make_registry().to_prometheus_text()
+        buckets = [
+            (m.group(1), int(m.group(2)))
+            for m in re.finditer(r'p99_ms_bucket\{le="([^"]+)"\} (\d+)', text)
+        ]
+        assert [b for b, _ in buckets] == ["50", "100", "250", "+Inf"]
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        assert counts[-1] == 3
+        assert "p99_ms_sum 9220" in text
+        assert "p99_ms_count 3" in text
+
+    def test_prometheus_help_and_type_lines(self):
+        text = self.make_registry().to_prometheus_text()
+        assert "# HELP decisions_total scheduler decisions" in text
+        assert "# TYPE decisions_total counter" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "# TYPE p99_ms histogram" in text
+
+    def test_json_round_trips(self):
+        reg = self.make_registry()
+        data = json.loads(reg.to_json())
+        assert data["decisions_total"]["samples"][0]["value"] == 42
+        tiers = {
+            s["labels"]["tier"]: s["value"]
+            for s in data["queue_depth"]["samples"]
+        }
+        assert tiers == {"nginx": 3.0, "redis": 0.0}
+
+    def test_snapshot_is_deterministic(self):
+        a = self.make_registry().to_json()
+        b = self.make_registry().to_json()
+        assert a == b
+
+    def test_write_picks_format_by_extension(self, tmp_path):
+        reg = self.make_registry()
+        reg.write(tmp_path / "m.json")
+        json.loads((tmp_path / "m.json").read_text())  # valid JSON
+        reg.write(tmp_path / "m.prom")
+        assert "# TYPE" in (tmp_path / "m.prom").read_text()

@@ -1,0 +1,116 @@
+"""Tracer: sampling, span bookkeeping, and the two export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import TRACE_PID, Span, Tracer
+
+
+class TestTracer:
+    def test_sampling_is_deterministic(self):
+        t = Tracer(sample_every=3)
+        kept = [i for i in range(10) if t.sampled(i)]
+        assert kept == [0, 3, 6, 9]
+        assert all(Tracer().sampled(i) for i in range(5))
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+
+    def test_span_converts_seconds_to_microseconds(self):
+        t = Tracer()
+        t.span("decide", 12.5, 0.0015, track="scheduler")
+        span = t.spans[0]
+        assert span.ts_us == 12_500_000
+        assert span.dur_us == 1500
+
+    def test_negative_duration_clamped(self):
+        t = Tracer()
+        t.span("x", 1.0, -0.5)
+        assert t.spans[0].dur_us == 0
+
+    def test_max_spans_drops_and_counts(self):
+        t = Tracer(max_spans=2)
+        for i in range(5):
+            t.span("s", float(i), 0.1)
+        assert len(t) == 2
+        assert t.dropped == 3
+
+
+class TestChromeExport:
+    def make_tracer(self) -> Tracer:
+        t = Tracer()
+        t.span("decide", 1.0, 0.001, track="scheduler", cat="decision",
+               args={"interval": 0})
+        t.span("nginx", 1.0, 0.02, track="tier:nginx", cat="tier")
+        t.span("decide", 2.0, 0.001, track="scheduler")
+        return t
+
+    def test_round_trips_through_json(self):
+        doc = json.loads(json.dumps(self.make_tracer().to_chrome()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert all(isinstance(e["pid"], int) for e in events)
+        assert all(isinstance(e["tid"], int) for e in events)
+
+    def test_complete_events_and_track_metadata(self):
+        doc = self.make_tracer().to_chrome()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        ms = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(xs) == 3
+        assert {m["args"]["name"] for m in ms} == {"scheduler", "tier:nginx"}
+        assert all(m["name"] == "thread_name" for m in ms)
+        # Events on the same track share a tid; distinct tracks differ.
+        tids = {e["name"]: e["tid"] for e in xs}
+        assert tids["nginx"] != tids["decide"]
+        assert all(e["pid"] == TRACE_PID for e in doc["traceEvents"])
+
+    def test_timestamps_monotonic_per_track_even_if_recorded_out_of_order(self):
+        t = Tracer()
+        # Request spans are emitted at completion time but stamped at
+        # arrival, so record order is not time order.
+        t.span("req-b", 5.0, 1.0, track="requests")
+        t.span("req-a", 2.0, 0.5, track="requests")
+        t.span("req-c", 7.0, 0.1, track="requests")
+        doc = t.to_chrome()
+        last: dict[tuple, int] = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] != "X":
+                continue
+            key = (e["pid"], e["tid"])
+            assert e["ts"] >= last.get(key, 0)
+            last[key] = e["ts"]
+
+    def test_write_chrome_is_loadable(self, tmp_path):
+        path = tmp_path / "episode.trace"
+        self.make_tracer().write(path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestJsonlExport:
+    def test_one_json_object_per_line(self, tmp_path):
+        t = Tracer()
+        t.span("a", 1.0, 0.1, track="x", cat="c", args={"k": 1})
+        t.span("b", 2.0, 0.2)
+        path = tmp_path / "episode.jsonl"
+        t.write(path)  # .jsonl suffix selects the line format
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "name": "a", "track": "x", "ts_us": 1_000_000,
+            "dur_us": 100_000, "cat": "c", "args": {"k": 1},
+        }
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        Tracer().write_jsonl(path)
+        assert path.read_text() == ""
+
+    def test_span_to_json_omits_empty_fields(self):
+        span = Span(name="s", ts_us=1, dur_us=2)
+        assert span.to_json() == {
+            "name": "s", "track": "main", "ts_us": 1, "dur_us": 2,
+        }

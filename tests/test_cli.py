@@ -1,5 +1,7 @@
 """CLI smoke tests (argument handling; heavy paths run at small budget)."""
 
+import json
+
 import pytest
 
 from repro.cli import _build_parser, main
@@ -56,6 +58,34 @@ class TestParser:
         assert args.duration == 120
         assert args.jobs is None
 
+    def test_run_obs_flags_default_off(self):
+        args = _build_parser().parse_args(["run"])
+        assert args.trace is None
+        assert args.metrics_out is None
+        assert args.audit_out is None
+        assert args.trace_sample == 1
+
+    def test_run_obs_flags_parse(self):
+        args = _build_parser().parse_args([
+            "run", "--trace", "ep.trace", "--metrics-out", "m.prom",
+            "--audit-out", "a.jsonl", "--trace-sample", "5",
+        ])
+        assert args.trace == "ep.trace"
+        assert args.metrics_out == "m.prom"
+        assert args.audit_out == "a.jsonl"
+        assert args.trace_sample == 5
+
+    def test_audit_subcommand(self):
+        args = _build_parser().parse_args(
+            ["audit", "a.jsonl", "--interval", "7", "--qos", "500"]
+        )
+        assert args.file == "a.jsonl"
+        assert args.interval == 7
+        assert args.qos == 500.0
+        assert _build_parser().parse_args(["audit", "a.jsonl"]).interval is None
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["audit"])  # file is required
+
 
 class TestExecution:
     def test_run_autoscale_episode(self, capsys):
@@ -107,3 +137,69 @@ class TestExecution:
         assert code == 0
         assert "episodes in" in out
         assert "ERR" not in out
+
+
+class TestObservabilityArtifacts:
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "episode.trace"
+        metrics = tmp_path / "metrics.prom"
+        code = main([
+            "run", "--manager", "autoscale-opt", "--app", "social_network",
+            "--users", "100", "--duration", "20",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote trace:" in out
+        assert "wrote metrics:" in out
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]  # Perfetto/chrome://tracing loadable
+        text = metrics.read_text()
+        assert "# TYPE engine_intervals_total counter" in text
+        assert "engine_intervals_total 20" in text
+
+    def test_trace_sampling_reduces_spans(self, tmp_path):
+        sizes = {}
+        for k in (1, 5):
+            trace = tmp_path / f"sample{k}.trace"
+            assert main([
+                "run", "--manager", "static", "--app", "social_network",
+                "--users", "100", "--duration", "20",
+                "--trace", str(trace), "--trace-sample", str(k),
+            ]) == 0
+            doc = json.loads(trace.read_text())
+            sizes[k] = sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+        assert 0 < sizes[5] < sizes[1]
+
+    def test_audit_round_trip_through_cli(self, tmp_path, capsys):
+        from repro.obs import AuditLog, AuditRecord
+        from repro.obs.audit import REASON_BOOST
+
+        log = AuditLog()
+        for i in range(3):
+            log.append(AuditRecord(
+                interval=i, time=float(i), measured_p99_ms=120.0 + i,
+                rps=800.0, total_cpu=12.0, n_candidates=9,
+                chosen_kind="scale_up", chosen_total_cpu=14.0,
+                fallback_reason=REASON_BOOST if i == 2 else None,
+            ))
+        path = tmp_path / "audit.jsonl"
+        log.write_jsonl(path)
+
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 decisions (1 on safety/fallback paths)" in out
+
+        assert main(["audit", str(path), "--interval", "2",
+                     "--qos", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "unpredicted QoS violation" in out
+
+        assert main(["audit", str(path), "--interval", "99"]) == 1
+        assert "log covers 0..2" in capsys.readouterr().out
+
+    def test_audit_empty_log(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["audit", str(path)]) == 1
+        assert "empty audit log" in capsys.readouterr().out
