@@ -9,8 +9,9 @@ Commands mirror the paper's workflow:
 * ``resilience`` — fault profiles x managers sweep with recovery metrics,
 * ``explain``    — LIME-style tier/resource attribution for a model,
 * ``bench``      — fast-vs-reference micro-benchmarks: the per-decision
-  scoring path (``BENCH_decision.json``) or, with ``--training``, the
-  model training path (``BENCH_training.json``),
+  scoring path (``BENCH_decision.json``), with ``--training`` the
+  model training path (``BENCH_training.json``), or with ``--sim`` the
+  batched-tick simulation core (``BENCH_sim.json``),
 * ``audit``      — inspect a decision audit log written by
   ``run --audit-out`` (table overview, or ``--interval`` for one
   decision's full explanation).
@@ -172,9 +173,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also rank this tier's resource channels")
 
     bench = sub.add_parser(
-        "bench", help="benchmark the per-decision scoring or training path"
+        "bench",
+        help="benchmark the per-decision scoring, training, or "
+             "simulation path",
     )
     _add_common(bench)
+    bench.add_argument("--sim", action="store_true",
+                       help="benchmark the batched-tick simulation core "
+                            "(fast vs reference interval path, "
+                            "BENCH_sim.json)")
     bench.add_argument("--training", action="store_true",
                        help="benchmark model training (histogram trees, "
                             "im2col CNN) instead of the decision path")
@@ -184,7 +191,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="telemetry window length (n_timesteps)")
     bench.add_argument("--repeats", type=int, default=None,
                        help="timing repetitions, min is kept "
-                            "(default: 30 decision / 2 training)")
+                            "(default: 30 decision / 2 training / 3 sim)")
     bench.add_argument("--trees", type=int, default=None,
                        help="boosted-tree ensemble size "
                             "(default: 300 decision / 400 training)")
@@ -192,12 +199,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="CNN training epochs (--training only)")
     bench.add_argument("--samples", type=int, default=1536,
                        help="training dataset rows (--training only)")
-    bench.add_argument("--intervals", type=int, default=25,
-                       help="scheduler-replay decision intervals")
+    bench.add_argument("--intervals", type=int, default=None,
+                       help="scheduler-replay decision intervals, or timed "
+                            "episode intervals with --sim "
+                            "(default: 25 decision / 300 sim)")
     bench.add_argument("--output", default=None,
                        help="result JSON path ('' to skip writing; relative "
                             "paths anchor to the repo root; default "
-                            "BENCH_decision.json / BENCH_training.json)")
+                            "BENCH_decision.json / BENCH_training.json / "
+                            "BENCH_sim.json)")
 
     audit = sub.add_parser(
         "audit", help="inspect a decision audit log (from run --audit-out)"
@@ -446,11 +456,13 @@ def cmd_bench(args) -> int:
     small = resolve_budget(args.budget).name == "small"
     if args.training:
         return _cmd_bench_training(args, small)
+    if args.sim:
+        return _cmd_bench_sim(args, small)
 
     counts = tuple(int(c) for c in args.candidates.split(",") if c.strip())
     repeats = args.repeats if args.repeats is not None else 30
     trees = args.trees if args.trees is not None else 300
-    intervals = args.intervals
+    intervals = args.intervals if args.intervals is not None else 25
     if small:
         # CI smoke: keep the run to a few seconds; equivalence checks
         # still run at full strength, only the timing repeats shrink.
@@ -476,6 +488,36 @@ def cmd_bench(args) -> int:
     ok = all(r["bitwise_equal"] for r in results["components"])
     ok = ok and results["scheduler"]["identical_traces"]
     return 0 if ok else 1
+
+
+def _cmd_bench_sim(args, small: bool) -> int:
+    from repro.harness.bench import (
+        SimBenchConfig,
+        format_sim_bench,
+        run_sim_bench,
+    )
+
+    repeats = args.repeats if args.repeats is not None else 3
+    intervals = args.intervals if args.intervals is not None else 300
+    if small:
+        # CI smoke: fewer timed intervals/repeats; the bitwise
+        # equivalence scenarios still run at full strength.
+        intervals = min(intervals, 120)
+        repeats = min(repeats, 2)
+    output = args.output if args.output is not None else "BENCH_sim.json"
+    results = run_sim_bench(SimBenchConfig(
+        app=args.app,
+        intervals=intervals,
+        repeats=repeats,
+        seed=args.seed,
+        output=output,
+    ))
+    print(format_sim_bench(results))
+    if output:
+        from repro.harness.bench import resolve_output
+
+        print(f"wrote {resolve_output(output)}")
+    return 0 if results["equivalence"]["all"] else 1
 
 
 def _cmd_bench_training(args, small: bool) -> int:

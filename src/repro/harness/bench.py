@@ -622,6 +622,213 @@ def format_training_bench(results: dict) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Simulation-path benchmark
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimBenchConfig:
+    """Knobs of one ``repro bench --sim`` invocation.
+
+    Times full simulated episodes on the production-sized application
+    (28 tiers for ``social_network``) with the batched-tick fast path on
+    and off, and checks the two paths produce bitwise-identical
+    :class:`~repro.sim.telemetry.IntervalStats` across normal, bursty,
+    and overload scenarios.  The default tick of 0.05 s (20 ticks per
+    decision interval) is the high-resolution regime the fast path
+    exists for: the reference's per-tick Python cost scales linearly
+    with the tick count while the batched path's does not.
+    """
+
+    app: str = "social_network"
+    intervals: int = 300
+    tick: float = 0.05
+    rps: float = 900.0
+    repeats: int = 3
+    seed: int = 0
+    equivalence_intervals: int = 60
+    output: str = "BENCH_sim.json"
+
+
+_SIM_STAT_FIELDS = (
+    "time", "rps", "cpu_alloc", "cpu_util", "rss_mb", "cache_mb",
+    "rx_pps", "tx_pps", "queue", "latency_ms", "drops",
+    "latency_samples_ms",
+)
+
+
+def _interval_stats_equal(a, b) -> bool:
+    """Bitwise equality of two :class:`IntervalStats` (every field)."""
+    for name in _SIM_STAT_FIELDS:
+        if not np.array_equal(
+            np.asarray(getattr(a, name)), np.asarray(getattr(b, name))
+        ):
+            return False
+    return a.rps_by_type == b.rps_by_type
+
+
+def _sim_episode_inputs(graph, config: SimBenchConfig):
+    base_alloc = np.full(graph.n_tiers, 2.0)
+    rates = np.full(graph.n_types, config.rps / graph.n_types)
+    return base_alloc, rates
+
+
+def _run_sim_episode(engine, intervals: int, base_alloc, rates) -> float:
+    """Drive one episode with deterministic load/allocation sweeps and
+    return its wall time; the sweeps cross the latency knee so queues,
+    drops, and the sampler's drop path are all exercised."""
+    phase = np.arange(base_alloc.size)
+    t0 = time.perf_counter()
+    for i in range(intervals):
+        engine.run_interval(
+            base_alloc * (1.0 + 0.1 * np.sin(i + phase)),
+            rates * (1.0 + 0.2 * np.sin(i / 3.0)),
+        )
+    return time.perf_counter() - t0
+
+
+def bench_sim_episode(config: SimBenchConfig) -> dict:
+    """Episode wall time, fast path vs reference (min over repeats)."""
+    from repro.sim.engine import EngineConfig, QueueingEngine
+
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    base_alloc, rates = _sim_episode_inputs(graph, config)
+
+    def timed(fast: bool) -> float:
+        best = float("inf")
+        for _ in range(max(config.repeats, 1)):
+            engine = QueueingEngine(
+                graph,
+                EngineConfig(tick=config.tick, fast_sim=fast),
+                seed=config.seed,
+            )
+            # Warm-up interval: builds the tick plan and (first time
+            # only) compiles the C kernel, outside the timed region.
+            engine.run_interval(base_alloc, rates)
+            best = min(
+                best,
+                _run_sim_episode(engine, config.intervals, base_alloc, rates),
+            )
+        return best
+
+    fast_s = timed(True)
+    ref_s = timed(False)
+    return {
+        "intervals": config.intervals,
+        "fast_s": round(fast_s, 4),
+        "reference_s": round(ref_s, 4),
+        "fast_ms_per_interval": round(fast_s / config.intervals * 1e3, 4),
+        "reference_ms_per_interval": round(ref_s / config.intervals * 1e3, 4),
+        "intervals_per_s_fast": round(config.intervals / fast_s, 1),
+        "intervals_per_s_reference": round(config.intervals / ref_s, 1),
+        "speedup": round(ref_s / fast_s, 2) if fast_s else 0.0,
+    }
+
+
+def bench_sim_equivalence(config: SimBenchConfig) -> dict:
+    """Bitwise fast-vs-reference check across engine scenarios.
+
+    Each scenario runs a fresh fast engine and a fresh reference engine
+    from the same seed and compares every ``IntervalStats`` field of
+    every interval, the engines' internal state vectors, and the final
+    RNG state — any divergence in the RNG consumption plan would show up
+    here even if the visible stats happened to agree.
+    """
+    from repro.sim.engine import EngineConfig, QueueingEngine
+
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    base_alloc, rates = _sim_episode_inputs(graph, config)
+    phase = np.arange(graph.n_tiers)
+    scenarios = {
+        "normal": {},
+        "overload": {"max_queue": 30.0},
+        "bursty": {"spike_prob": 0.5, "spike_mult_range": (2.0, 3.0)},
+    }
+    results: dict[str, bool] = {}
+    for name, overrides in scenarios.items():
+        engines = [
+            QueueingEngine(
+                graph,
+                EngineConfig(tick=config.tick, fast_sim=fast, **overrides),
+                seed=config.seed + 13,
+            )
+            for fast in (True, False)
+        ]
+        ok = True
+        for i in range(config.equivalence_intervals):
+            allocs = base_alloc * (1.0 + 0.1 * np.sin(i + phase))
+            tr = rates * (1.0 + 0.2 * np.sin(i / 3.0))
+            sf, sr = (e.run_interval(allocs, tr) for e in engines)
+            if not _interval_stats_equal(sf, sr):
+                ok = False
+                break
+        fast_e, ref_e = engines
+        ok = ok and all(
+            np.array_equal(getattr(fast_e, attr), getattr(ref_e, attr))
+            for attr in ("queue", "_busy_ewma", "_busy_frac", "_demand", "_sojourn")
+        )
+        ok = ok and fast_e.time == ref_e.time
+        ok = (
+            ok
+            and fast_e._rng.bit_generator.state == ref_e._rng.bit_generator.state
+        )
+        results[name] = bool(ok)
+    results["all"] = all(results.values())
+    return results
+
+
+def run_sim_bench(config: SimBenchConfig | None = None) -> dict:
+    """Run the simulation benchmark and return (and optionally write)
+    results."""
+    config = config or SimBenchConfig()
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    results = {
+        "benchmark": "sim-path",
+        "app": config.app,
+        "n_tiers": graph.n_tiers,
+        "tick": config.tick,
+        "ticks_per_interval": max(int(round(1.0 / config.tick)), 1),
+        "rps": config.rps,
+        "repeats": config.repeats,
+        "seed": config.seed,
+        "episode": bench_sim_episode(config),
+        "equivalence": bench_sim_equivalence(config),
+    }
+    if config.output:
+        resolve_output(config.output).write_text(
+            json.dumps(results, indent=2) + "\n"
+        )
+    return results
+
+
+def format_sim_bench(results: dict) -> str:
+    """Human-readable summary of one ``run_sim_bench`` result."""
+    ep, eq = results["episode"], results["equivalence"]
+    scenario_bits = ", ".join(
+        f"{name}={'yes' if ok else 'NO'}"
+        for name, ok in eq.items()
+        if name != "all"
+    )
+    return "\n".join([
+        f"sim-path benchmark — {results['app']} "
+        f"({results['n_tiers']} tiers, tick {results['tick']}s = "
+        f"{results['ticks_per_interval']} ticks/interval, "
+        f"{ep['intervals']} intervals)",
+        f"episode:  {ep['fast_s']:.2f}s fast vs {ep['reference_s']:.2f}s "
+        f"reference ({ep['speedup']:.1f}x; "
+        f"{ep['intervals_per_s_fast']:.0f} vs "
+        f"{ep['intervals_per_s_reference']:.0f} intervals/s)",
+        f"interval: {ep['fast_ms_per_interval']:.3f}ms fast vs "
+        f"{ep['reference_ms_per_interval']:.3f}ms reference",
+        "bitwise:  " + ("equal" if eq["all"] else "DIVERGED")
+        + f" ({scenario_bits})",
+    ])
+
+
 def run_bench(config: BenchConfig | None = None) -> dict:
     """Run the full benchmark and return (and optionally write) results."""
     config = config or BenchConfig()
@@ -699,4 +906,9 @@ __all__ = [
     "bench_tree_fit",
     "bench_cnn_epochs",
     "bench_end_to_end",
+    "SimBenchConfig",
+    "run_sim_bench",
+    "format_sim_bench",
+    "bench_sim_episode",
+    "bench_sim_equivalence",
 ]

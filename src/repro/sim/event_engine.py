@@ -210,6 +210,11 @@ class EventDrivenEngine:
             raise ValueError("type_rates shape mismatch")
         for tier, alloc in zip(self.tiers, allocs):
             tier.set_alloc(alloc)
+        # Window this run's summary: queues and in-flight requests carry
+        # over between runs, but completions and drops booked by earlier
+        # runs must not pollute this run's percentiles.
+        lat_start = len(self.latencies)
+        dropped_start = self.dropped
 
         # Pre-generate Poisson arrivals per type.
         horizon = self.time + duration
@@ -259,18 +264,31 @@ class EventDrivenEngine:
                 if request.pending == 0:
                     request.stage += 1
                     self._dispatch_stage(request)
+        # Tail segment: servers busy between the last in-horizon event and
+        # the horizon itself still accrue busy time.  Dropping it
+        # under-counts utilization for every run whose servers are busy at
+        # the boundary (most loaded runs).
+        busy_integral += (horizon - last_t) * np.array(
+            [t.busy * t.speed for t in self.tiers]
+        )
         self.time = horizon
 
-        return self._summary(duration, busy_integral, allocs)
+        return self._summary(
+            duration, busy_integral, allocs, lat_start, dropped_start
+        )
 
-    def _summary(self, duration, busy_integral, allocs) -> dict:
-        if self.latencies:
-            times = np.array([t for t, _ in self.latencies])
-            values = np.array([v for _, v in self.latencies]) * 1000.0
+    def _summary(
+        self, duration, busy_integral, allocs, lat_start=0, dropped_start=0
+    ) -> dict:
+        lat = self.latencies[lat_start:]
+        if lat:
+            times = np.array([t for t, _ in lat])
+            values = np.array([v for _, v in lat]) * 1000.0
+            percentiles = np.percentile(values, LATENCY_PERCENTILES)
         else:
-            times = np.array([0.0])
-            values = np.array([0.0])
-        percentiles = np.percentile(values, LATENCY_PERCENTILES)
+            times = np.empty(0)
+            values = np.empty(0)
+            percentiles = np.zeros(len(LATENCY_PERCENTILES))
         start = self.time - duration
         p99_series = []
         for second in range(int(duration)):
@@ -278,14 +296,17 @@ class EventDrivenEngine:
             if mask.any():
                 p99_series.append(float(np.percentile(values[mask], 99)))
             else:
-                p99_series.append(0.0)
+                # No completions this second: unknown, not "0 ms" — a
+                # literal zero would drag any series aggregate toward an
+                # impossibly good tail latency.
+                p99_series.append(float("nan"))
         utilization = busy_integral / np.maximum(allocs * duration, 1e-9)
         return {
             "latency_ms": percentiles,
             "p99_ms": float(percentiles[LATENCY_PERCENTILES.index(99)]),
             "p99_series_ms": np.array(p99_series),
-            "n_requests": len(self.latencies),
-            "dropped": self.dropped,
+            "n_requests": len(lat),
+            "dropped": self.dropped - dropped_start,
             "cpu_util": np.clip(utilization, 0.0, 1.0),
             "queued": np.array([len(t.queue) for t in self.tiers]),
         }

@@ -48,6 +48,66 @@ class TestBasics:
         assert a["n_requests"] == b["n_requests"]
 
 
+class TestAccounting:
+    """Regression tests for busy-time and summary windowing."""
+
+    def test_busy_tail_counted_up_to_horizon(self):
+        # A server busy across the whole horizon with no events in between
+        # must accrue its full busy time: with zero offered load the event
+        # loop never runs, so only the final (horizon - last_t) segment
+        # can account for it.  Before the fix this reported 0 utilization.
+        engine = EventDrivenEngine(GRAPH, EventEngineConfig(), seed=0)
+        engine.tiers[0].busy = 1  # in-flight request carried into the run
+        result = engine.run(np.full(4, 1.0), np.zeros(2), 5.0)
+        assert result["cpu_util"][0] == pytest.approx(1.0)
+        assert np.all(result["cpu_util"][1:] == 0.0)
+
+    def test_successive_runs_report_per_run_requests(self):
+        engine = EventDrivenEngine(GRAPH, EventEngineConfig(), seed=5)
+        alloc = np.full(4, 3.0)
+        r1 = engine.run(alloc, RATES, 10.0)
+        r2 = engine.run(alloc, RATES, 10.0)
+        assert r1["n_requests"] > 0 and r2["n_requests"] > 0
+        # The engine keeps pooled cross-run state, but each summary is
+        # windowed to its own run's completions.
+        assert len(engine.latencies) == r1["n_requests"] + r2["n_requests"]
+        assert len(r2["p99_series_ms"]) == 10
+
+    def test_successive_runs_report_per_run_drops(self):
+        engine = EventDrivenEngine(
+            GRAPH, EventEngineConfig(max_queue=50), seed=6
+        )
+        overload = engine.run(
+            np.full(4, 0.2), np.array([800.0, 80.0]), 10.0
+        )
+        assert overload["dropped"] > 0
+        calm = engine.run(np.full(4, 6.0), np.array([5.0, 1.0]), 10.0)
+        # The calm run's drop count must not inherit the overload run's.
+        assert calm["dropped"] < overload["dropped"]
+        assert engine.dropped >= overload["dropped"] + calm["dropped"]
+
+    def test_second_run_percentiles_not_contaminated(self):
+        # Run 1 books thousands of timeout latencies; a healthy run 2 must
+        # not report them in its own percentiles.
+        engine = EventDrivenEngine(
+            GRAPH, EventEngineConfig(max_queue=50, drop_latency=5.0), seed=7
+        )
+        engine.run(np.full(4, 0.2), np.array([800.0, 80.0]), 10.0)
+        # Drain: generous allocation, light load, long enough to clear the
+        # carried-over queues before the windowed summary matters.
+        engine.run(np.full(4, 8.0), np.array([1.0, 0.0]), 30.0)
+        healthy = engine.run(np.full(4, 8.0), np.array([20.0, 2.0]), 20.0)
+        assert healthy["p99_ms"] < 5000.0
+
+    def test_idle_seconds_are_nan(self):
+        result = run_event(np.full(4, 2.0), rates=np.zeros(2), duration=5.0)
+        series = result["p99_series_ms"]
+        assert len(series) == 5
+        assert np.isnan(series).all()
+        # The pooled percentile vector stays finite (zero placeholder).
+        assert np.all(np.isfinite(result["latency_ms"]))
+
+
 class TestPhysics:
     def test_more_cpu_lower_latency(self):
         lean = run_event(np.full(4, 0.5), seed=1)
@@ -119,7 +179,7 @@ class TestCrossValidation:
                 for _ in range(25)
             ]
             verdicts[name] = (
-                np.median(event["p99_series_ms"][-10:]) > 200.0,
+                bool(np.nanmedian(event["p99_series_ms"][-10:]) > 200.0),
                 np.median(fluid[-10:]) > 200.0,
             )
         assert verdicts["starved"] == (True, True)
