@@ -4,7 +4,13 @@ Commands mirror the paper's workflow:
 
 * ``train``      — collect data and train the hybrid model for an app,
 * ``run``        — deploy a manager against a load and report the episode
-  (``--fault-profile`` injects crashes / stragglers / telemetry faults),
+  (``--fault-profile`` injects crashes / stragglers / telemetry faults;
+  ``--continuous`` turns on the Sinan continuous-learning loop),
+* ``retrain``    — the end-to-end drift scenario: a capacity regression
+  invalidates the deploy-time model, the drift detector fires, a
+  challenger is fine-tuned in the background, shadowed, and promoted;
+  reports post-promotion QoS against a frozen incumbent on the same
+  seeded episode,
 * ``sweep``      — the Figure 11 protocol: managers x loads comparison,
 * ``resilience`` — fault profiles x managers sweep with recovery metrics,
 * ``explain``    — LIME-style tier/resource attribution for a model,
@@ -135,7 +141,34 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-profile", default=None,
                      choices=sorted(FAULT_PROFILES),
                      help="inject a named fault profile into the episode")
+    run.add_argument("--continuous", action="store_true",
+                     help="wrap the manager in the continuous-learning "
+                          "loop: drift detection, background retraining, "
+                          "shadow promotion (sinan only)")
     _add_obs(run)
+
+    retrain = sub.add_parser(
+        "retrain",
+        help="end-to-end drift scenario: detect, retrain, shadow, promote",
+    )
+    _add_common(retrain)
+    _add_jobs(retrain)
+    retrain.add_argument("--users", type=float, default=250)
+    retrain.add_argument("--duration", type=int, default=240)
+    retrain.add_argument("--drift-start", type=float, default=60.0,
+                         help="episode time (s) the capacity regression "
+                              "begins")
+    retrain.add_argument("--drift-ramp", type=float, default=30.0,
+                         help="seconds over which capacity ramps down")
+    retrain.add_argument("--drift-capacity", type=float, default=0.55,
+                         help="final capacity fraction after the drift")
+    retrain.add_argument("--registry", default=None, metavar="DIR",
+                         help="persist model versions and the manifest "
+                              "to DIR (default: in-memory only)")
+    retrain.add_argument("--require-promotion", action="store_true",
+                         help="exit non-zero unless a challenger was "
+                              "promoted during the episode")
+    _add_obs(retrain)
 
     sweep = sub.add_parser("sweep", help="Figure 11 comparison sweep")
     _add_common(sweep)
@@ -257,7 +290,23 @@ def cmd_run(args) -> int:
     predictor = None
     if args.manager == "sinan":
         predictor = get_trained_predictor(args.app, args.budget, seed=args.seed)
-    manager = _make_manager(args.manager, predictor, spec, graph)
+    if args.continuous:
+        if args.manager != "sinan":
+            print("--continuous requires --manager sinan", file=sys.stderr)
+            return 2
+        from repro.core.retrain import ContinuousSinanManager
+        from repro.harness.continuous import BoundaryCollector
+
+        manager = ContinuousSinanManager(
+            predictor, spec.qos,
+            collect=BoundaryCollector(
+                graph, spec.qos,
+                loads=(args.users * 0.6, args.users, args.users * 1.5),
+            ),
+            graph=graph,
+        )
+    else:
+        manager = _make_manager(args.manager, predictor, spec, graph)
     cluster = make_cluster(graph, args.users, seed=args.seed,
                            fault_profile=args.fault_profile)
     warmup = min(30, args.duration // 4)
@@ -286,7 +335,66 @@ def cmd_run(args) -> int:
                   f"{result.fallbacks} max-alloc fallbacks "
                   f"({result.predictor_failures} predictor failures), "
                   f"trusted={result.trusted}")
+    if args.continuous:
+        print(f"  continuous: {len(manager.detector.signals)} drift "
+              f"signals, {manager.retrains} retrains, "
+              f"{manager.promotions} promotions, "
+              f"final state {manager.state} "
+              f"(model v{manager.incumbent_version} live)")
     _write_obs_artifacts(args, recorder)
+    return 0
+
+
+def cmd_retrain(args) -> int:
+    from repro.core.retrain import ModelRegistry
+    from repro.harness.continuous import (
+        BoundaryCollector,
+        format_drift_scenario,
+        run_drift_scenario,
+    )
+    from repro.harness.pipeline import (
+        app_spec,
+        get_trained_predictor,
+        resolve_budget,
+    )
+    from repro.sim.behaviors import CapacityDrift
+
+    spec = app_spec(args.app)
+    graph = spec.graph_factory()
+    predictor = get_trained_predictor(
+        args.app, args.budget, seed=args.seed, jobs=args.jobs
+    )
+    drift = CapacityDrift(
+        start=args.drift_start, ramp=args.drift_ramp,
+        final_capacity=args.drift_capacity,
+    )
+    loads = (args.users * 0.6, args.users, args.users * 1.5)
+    seconds_per_load = 60
+    if resolve_budget(args.budget).name == "small":
+        # CI smoke: two loads and shorter sweeps keep the background
+        # collection to a few seconds without changing the protocol.
+        loads = (args.users, args.users * 1.5)
+        seconds_per_load = 40
+    collect = BoundaryCollector(
+        graph, spec.qos, capacity=args.drift_capacity,
+        loads=loads, seconds_per_load=seconds_per_load, jobs=args.jobs,
+    )
+    registry = ModelRegistry(args.registry) if args.registry else None
+    recorder = _make_cli_recorder(args)
+    result = run_drift_scenario(
+        predictor, graph, spec.qos,
+        users=args.users, duration=args.duration, seed=args.seed,
+        drift=drift, collect=collect, registry=registry,
+        warmup=min(30, args.duration // 4), recorder=recorder,
+    )
+    print(format_drift_scenario(result))
+    if args.registry:
+        print(f"model registry: {args.registry} "
+              f"(active version {registry.active})")
+    _write_obs_artifacts(args, recorder)
+    if args.require_promotion and result.continuous.promotions < 1:
+        print("no challenger was promoted", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -443,9 +551,15 @@ def cmd_audit(args) -> int:
     if args.last is not None and args.last > 0:
         records = records[-args.last:]
     print(format_audit_table(records))
-    fallbacks = sum(1 for r in records if r.fallback_reason is not None)
-    print(f"{len(records)} decisions ({fallbacks} on safety/fallback "
-          f"paths); 'repro audit {args.file} --interval N' explains one")
+    from repro.obs import AuditRecord
+
+    decisions = [r for r in records if isinstance(r, AuditRecord)]
+    fallbacks = sum(1 for r in decisions if r.fallback_reason is not None)
+    markers = len(records) - len(decisions)
+    extra = f", {markers} model/shadow markers" if markers else ""
+    print(f"{len(decisions)} decisions ({fallbacks} on safety/fallback "
+          f"paths{extra}); 'repro audit {args.file} --interval N' "
+          f"explains one")
     return 0
 
 
@@ -566,6 +680,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "train": cmd_train,
         "run": cmd_run,
+        "retrain": cmd_retrain,
         "sweep": cmd_sweep,
         "resilience": cmd_resilience,
         "explain": cmd_explain,

@@ -151,6 +151,12 @@ class BanditExplorer:
         lat_ratio = (
             cfg.qos.latency_of(log.latest) / cfg.qos.latency_ms if len(log) else 0.0
         )
+        # A non-finite measured latency (idle interval, corrupted
+        # telemetry) compares False against every band below, which
+        # would read as "comfortably meeting QoS" and reward
+        # reclamation.  Unknown is not safe: block reclamation and skip
+        # the arm updates for this step (see :meth:`observe`).
+        lat_known = math.isfinite(lat_ratio)
         util = log.latest.cpu_util if len(log) else np.zeros_like(current)
         busy = util * current
         min_alloc = cluster.min_alloc
@@ -177,8 +183,8 @@ class BanditExplorer:
                 target = float(np.clip(current[tier] + delta, min_alloc[tier], max_alloc[tier]))
                 real_delta = target - current[tier]
                 if real_delta < 0:
-                    if lat_ratio > 1.0:
-                        continue  # no reclamation while violating
+                    if not lat_known or lat_ratio > 1.0:
+                        continue  # no reclamation while violating/blind
                     if busy[tier] / max(target, 1e-9) > cfg.util_cap:
                         continue  # utilization cap
                 key = (state, tier, self._bucket(target))
@@ -189,7 +195,8 @@ class BanditExplorer:
                 if score > best_score:
                     best_score, best_delta = score, real_delta
             new_alloc[tier] = current[tier] + best_delta
-            self._pending.append((state, tier, self._bucket(new_alloc[tier])))
+            if lat_known:
+                self._pending.append((state, tier, self._bucket(new_alloc[tier])))
         return new_alloc
 
     def observe(self, met_qos: bool) -> None:

@@ -1,0 +1,254 @@
+"""Online drift detection over the scheduler's decision stream.
+
+The paper retrains Sinan incrementally "when the deployment drifts"
+(Section 5.4) but never says how the drift is noticed.  This module
+closes that gap: a :class:`DriftDetector` consumes the same per-decision
+signals the audit log records — whether the decision was an unpredicted
+violation (the scheduler's misprediction counter), whether it fell back
+to the max-allocation safety action, and how far the previous decision's
+predicted tail latency landed from the latency actually measured — and
+raises a :class:`DriftSignal` when any of three sliding-window rates
+clears its threshold:
+
+* **misprediction rate** — unpredicted QoS violations per decision.
+  The model's picture of the boundary is stale on the optimistic side.
+* **fallback rate** — max-allocation fallbacks per decision (predictor
+  failures plus "no acceptable action").  The model no longer scores
+  any candidate as safe, i.e. it is stale on the pessimistic side.
+* **calibration error** — mean ``|predicted - measured| / QoS`` over
+  decisions whose prediction and follow-up measurement are both finite.
+  The regression head itself has drifted, even if no violation happened
+  yet.
+
+Every signal carries the reason, the offending value, and the threshold
+it crossed, so the retrain trigger is auditable after the fact.  After a
+signal the detector goes quiet for ``cooldown`` decisions (retraining
+takes a while; re-raising every interval would be noise) and its window
+is cleared so a post-promotion model is judged only on its own record.
+
+The detector is deliberately tiny and allocation-free per decision
+(three deques of scalars), so it can sit inside the control loop; it
+can also replay a recorded audit stream offline via :func:`scan_audit`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+#: ``DriftSignal.reason`` values.
+REASON_MISPREDICTION_RATE = "misprediction-rate"
+REASON_FALLBACK_RATE = "fallback-rate"
+REASON_CALIBRATION = "calibration-error"
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds and window of the online drift detector."""
+
+    window: int = 40
+    """Sliding window length, in decisions."""
+
+    min_decisions: int = 20
+    """Decisions required in-window before any rate is judged (rates
+    over a handful of samples are meaningless)."""
+
+    misprediction_rate: float = 0.10
+    """Unpredicted-violation fraction that signals drift."""
+
+    fallback_rate: float = 0.30
+    """Max-allocation-fallback fraction that signals drift."""
+
+    calibration_frac: float = 0.35
+    """Mean ``|predicted - measured|`` above this fraction of QoS
+    signals drift."""
+
+    min_calibration_samples: int = 10
+    """Finite (predicted, measured) pairs required before the
+    calibration rate is judged."""
+
+    cooldown: int = 50
+    """Decisions to stay quiet after raising a signal."""
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_decisions < 1:
+            raise ValueError("min_decisions must be >= 1")
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """One retrain trigger, with its recorded reason."""
+
+    decision: int
+    """Decision index (0-based) at which the signal fired."""
+
+    reason: str
+    """One of :data:`REASON_MISPREDICTION_RATE`,
+    :data:`REASON_FALLBACK_RATE`, :data:`REASON_CALIBRATION`."""
+
+    value: float
+    """The offending windowed rate / normalized error."""
+
+    threshold: float
+    """The configured threshold it crossed."""
+
+    window: int
+    """Decisions in the window when the signal fired."""
+
+    def describe(self) -> str:
+        return (
+            f"drift at decision {self.decision}: {self.reason} "
+            f"{self.value:.3f} > {self.threshold:.3f} "
+            f"(window {self.window})"
+        )
+
+
+class DriftDetector:
+    """Sliding-window drift monitor over per-decision outcomes.
+
+    Feed it one :meth:`observe` per scheduler decision, then poll
+    :meth:`check`.  Calibration pairs the *previous* decision's
+    predicted tail latency with the latency measured *now* — the
+    prediction targets the next interval, so the one-step lag is the
+    honest comparison (the same alignment paper Figure 12 plots).
+    """
+
+    def __init__(self, qos_ms: float, config: DriftConfig | None = None) -> None:
+        if qos_ms <= 0:
+            raise ValueError("qos_ms must be positive")
+        self.qos_ms = qos_ms
+        self.config = config or DriftConfig()
+        self.signals: list[DriftSignal] = []
+        """Every signal raised, oldest first."""
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear window state (episode boundary); signals are kept."""
+        w = self.config.window
+        self._mispredicted: deque[bool] = deque(maxlen=w)
+        self._fallback: deque[bool] = deque(maxlen=w)
+        self._calib_err: deque[float] = deque(maxlen=w)
+        self._prev_predicted = math.nan
+        self._decisions = 0
+        self._quiet_until = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        measured_ms: float,
+        predicted_ms: float,
+        mispredicted: bool = False,
+        fallback: bool = False,
+    ) -> None:
+        """Record one decision's outcome.
+
+        Parameters
+        ----------
+        measured_ms:
+            Tail latency measured in the interval the decision read
+            (NaN when unknown).
+        predicted_ms:
+            The decision's predicted tail latency for the *next*
+            interval (NaN on safety paths that skip scoring).
+        mispredicted:
+            The decision was an unpredicted-violation recovery boost.
+        fallback:
+            The decision fell back to the max-allocation safety action.
+        """
+        self._decisions += 1
+        self._mispredicted.append(bool(mispredicted))
+        self._fallback.append(bool(fallback))
+        if math.isfinite(self._prev_predicted) and math.isfinite(measured_ms):
+            self._calib_err.append(abs(self._prev_predicted - measured_ms))
+        self._prev_predicted = float(predicted_ms)
+
+    def check(self) -> DriftSignal | None:
+        """Judge the window; return (and record) a signal, or ``None``."""
+        cfg = self.config
+        n = len(self._mispredicted)
+        if self._decisions < self._quiet_until or n < cfg.min_decisions:
+            return None
+        candidates: list[tuple[str, float, float]] = []
+        mis_rate = sum(self._mispredicted) / n
+        if mis_rate > cfg.misprediction_rate:
+            candidates.append((REASON_MISPREDICTION_RATE, mis_rate,
+                               cfg.misprediction_rate))
+        fb_rate = sum(self._fallback) / n
+        if fb_rate > cfg.fallback_rate:
+            candidates.append((REASON_FALLBACK_RATE, fb_rate,
+                               cfg.fallback_rate))
+        if len(self._calib_err) >= cfg.min_calibration_samples:
+            calib = (sum(self._calib_err) / len(self._calib_err)) / self.qos_ms
+            if calib > cfg.calibration_frac:
+                candidates.append((REASON_CALIBRATION, calib,
+                                   cfg.calibration_frac))
+        if not candidates:
+            return None
+        # Most-exceeded threshold wins the recorded reason.
+        reason, value, threshold = max(
+            candidates, key=lambda c: c[1] / max(c[2], 1e-12)
+        )
+        signal = DriftSignal(
+            decision=self._decisions,
+            reason=reason,
+            value=value,
+            threshold=threshold,
+            window=n,
+        )
+        self.signals.append(signal)
+        self._quiet_until = self._decisions + self.config.cooldown
+        self._clear_window()
+        return signal
+
+    def _clear_window(self) -> None:
+        self._mispredicted.clear()
+        self._fallback.clear()
+        self._calib_err.clear()
+        self._prev_predicted = math.nan
+
+    # ------------------------------------------------------------------
+
+    @property
+    def decisions_seen(self) -> int:
+        return self._decisions
+
+
+def scan_audit(
+    records,
+    qos_ms: float,
+    config: DriftConfig | None = None,
+) -> list[DriftSignal]:
+    """Replay a recorded audit stream through a fresh detector.
+
+    ``records`` is an iterable of :class:`repro.obs.audit.AuditRecord`
+    (e.g. ``AuditLog.read_jsonl(path).records()``); returns every signal
+    the online detector would have raised over that stream.
+    """
+    from repro.obs.audit import REASON_BOOST
+
+    detector = DriftDetector(qos_ms, config)
+    for record in records:
+        reason = record.fallback_reason
+        detector.observe(
+            measured_ms=record.measured_p99_ms,
+            predicted_ms=record.predicted_p99_ms,
+            mispredicted=reason == REASON_BOOST,
+            fallback=reason is not None and reason != REASON_BOOST,
+        )
+        detector.check()
+    return detector.signals
+
+
+__all__ = [
+    "DriftConfig",
+    "DriftDetector",
+    "DriftSignal",
+    "scan_audit",
+    "REASON_MISPREDICTION_RATE",
+    "REASON_FALLBACK_RATE",
+    "REASON_CALIBRATION",
+]

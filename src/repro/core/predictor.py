@@ -93,7 +93,11 @@ class HybridPredictor:
         self.seed = seed
         self.encoder = WindowEncoder(graph, self.config.n_timesteps)
         self.normalizer = FeatureNormalizer(qos.latency_ms)
-        alpha = self.config.scaler_alpha or 1.0 / qos.latency_ms
+        alpha = (
+            self.config.scaler_alpha
+            if self.config.scaler_alpha is not None
+            else 1.0 / qos.latency_ms
+        )
         self.scaler = LatencyScaler(t=qos.latency_ms, alpha=alpha)
         self.cnn = LatencyCNN(
             n_tiers=graph.n_tiers,
@@ -217,6 +221,9 @@ class HybridPredictor:
         val_prob = self.trees.predict_proba(bt_val)
         p_up, p_down = self._calibrate_thresholds(val_prob, val.y_viol)
         pred_val = (val_prob >= 0.5).astype(float)
+        # The observability score buckets are derived from rmse_val; a
+        # new report (train / fine_tune / promotion) invalidates them.
+        self.__dict__.pop("_lat_buckets", None)
         self.report = TrainingReport(
             cnn_fit=fit,
             rmse_train=fit.train_rmse_final,

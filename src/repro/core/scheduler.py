@@ -127,15 +127,46 @@ class OnlineScheduler(Manager):
         self.action_space = action_space
         self.qos = qos
         self.config = config or SchedulerConfig()
-        calibrated_down, calibrated_up = predictor.thresholds
-        self.p_down = (
-            self.config.p_down if self.config.p_down is not None else calibrated_down
-        )
-        self.p_up = self.config.p_up if self.config.p_up is not None else calibrated_up
+        self.refresh_thresholds()
         self.recorder: Recorder = NULL_RECORDER
         """Observability handle (no-op by default; see
         :func:`repro.obs.recorder.attach_recorder`)."""
         self.reset()
+
+    def refresh_thresholds(self) -> None:
+        """Re-derive ``p_down`` / ``p_up`` from the current predictor.
+
+        ``__init__`` snapshots the predictor's calibrated thresholds
+        once; a promoted (retrained) model carries *new* calibration, so
+        the promotion path must call this after swapping
+        :attr:`predictor` or the recalibrated thresholds would be
+        silently ignored by a live scheduler.  Explicit config values
+        still win, matching the constructor's semantics.
+        """
+        calibrated_down, calibrated_up = self.predictor.thresholds
+        self.p_down = (
+            self.config.p_down if self.config.p_down is not None else calibrated_down
+        )
+        self.p_up = self.config.p_up if self.config.p_up is not None else calibrated_up
+
+    def adopt_predictor(
+        self, predictor: HybridPredictor, reset_safety: bool = True
+    ) -> None:
+        """Swap in a (re)trained predictor mid-deployment (promotion).
+
+        Refreshes the calibrated thresholds and, by default, resets the
+        safety counters: accumulated mispredictions belong to the old
+        model, and carrying them over would leave a freshly promoted
+        model permanently untrusted.  Episode-level counters
+        (``decisions``, ``prediction_trace``) are preserved.
+        """
+        self.predictor = predictor
+        self.refresh_thresholds()
+        if reset_safety:
+            self.mispredictions = 0
+            self._last_predicted_safe = True
+            self._hold_p_ewma = 0.0
+            self._cooldown = 0
 
     def reset(self) -> None:
         self.mispredictions = 0

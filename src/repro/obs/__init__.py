@@ -23,8 +23,11 @@ to collect everything for one episode.
 from repro.obs.audit import (
     AuditLog,
     AuditRecord,
+    DivergenceRecord,
+    ModelEventRecord,
     explain,
     format_audit_table,
+    record_from_json,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -44,8 +47,11 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "AuditLog",
     "AuditRecord",
+    "DivergenceRecord",
+    "ModelEventRecord",
     "explain",
     "format_audit_table",
+    "record_from_json",
     "Counter",
     "Gauge",
     "Histogram",

@@ -27,6 +27,13 @@ REASON_BOOST = "unpredicted-violation-boost"
 REASON_PREDICTOR_FAILURE = "predictor-failure"
 REASON_NO_ACCEPTABLE = "no-acceptable-action"
 
+#: ``ModelEventRecord.event`` values (continuous-learning lifecycle).
+EVENT_DRIFT = "drift-signal"
+EVENT_RETRAIN_STARTED = "retrain-started"
+EVENT_SHADOW_STARTED = "shadow-started"
+EVENT_PROMOTED = "promoted"
+EVENT_REJECTED = "rejected"
+
 
 @dataclass(frozen=True)
 class AuditRecord:
@@ -88,8 +95,103 @@ class AuditRecord:
         return AuditRecord(**data)
 
 
+@dataclass(frozen=True)
+class DivergenceRecord:
+    """Shadow challenger disagreed with the live incumbent.
+
+    Emitted by the continuous-learning shadow phase: the challenger
+    scored the same telemetry as the incumbent and would have chosen a
+    different action.  The incumbent's decision is what actually ran —
+    these records are the evidence the promotion gate (and a human
+    reviewing a promotion) judges a candidate model on.
+    """
+
+    interval: int
+    """Decision index the divergence occurred at."""
+
+    time: float
+    """Simulation time (seconds) of the telemetry both models read."""
+
+    challenger_version: int
+    """Registry version of the shadow model."""
+
+    incumbent_kind: str
+    challenger_kind: str
+    incumbent_total_cpu: float
+    challenger_total_cpu: float
+    incumbent_predicted_p99_ms: float = float("nan")
+    challenger_predicted_p99_ms: float = float("nan")
+
+    def to_json(self) -> dict:
+        out = asdict(self)
+        out["record"] = "divergence"
+        return out
+
+    @staticmethod
+    def from_json(data: dict) -> "DivergenceRecord":
+        data = {k: v for k, v in data.items() if k != "record"}
+        return DivergenceRecord(**data)
+
+
+@dataclass(frozen=True)
+class ModelEventRecord:
+    """One model-lifecycle event (drift, retrain, shadow, promotion)."""
+
+    interval: int
+    """Decision index at which the event happened."""
+
+    time: float
+    """Simulation time (seconds) at the event."""
+
+    event: str
+    """One of the ``EVENT_*`` constants."""
+
+    version: int
+    """Model registry version the event concerns."""
+
+    reason: str | None = None
+    """Why (drift reason, gate verdict), when the event has a cause."""
+
+    detail: str = ""
+    """Free-form context (gate metrics, signal values)."""
+
+    def to_json(self) -> dict:
+        out = asdict(self)
+        out["record"] = "model-event"
+        return out
+
+    @staticmethod
+    def from_json(data: dict) -> "ModelEventRecord":
+        data = {k: v for k, v in data.items() if k != "record"}
+        return ModelEventRecord(**data)
+
+
+#: JSONL dispatch: the ``record`` tag names the dataclass; plain decision
+#: records carry no tag (backward compatible with pre-tag exports).
+_RECORD_TYPES = {
+    "divergence": DivergenceRecord,
+    "model-event": ModelEventRecord,
+}
+
+
+def record_from_json(data: dict):
+    """Decode one JSONL line into its record dataclass."""
+    kind = data.get("record")
+    if kind is None:
+        return AuditRecord.from_json(data)
+    try:
+        cls = _RECORD_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown audit record type {kind!r}") from None
+    return cls.from_json(data)
+
+
 class AuditLog:
-    """Bounded ring buffer of :class:`AuditRecord`; oldest evicted first."""
+    """Bounded ring buffer of audit records; oldest evicted first.
+
+    Holds per-decision :class:`AuditRecord` entries and, interleaved in
+    decision order, the continuous-learning :class:`DivergenceRecord` /
+    :class:`ModelEventRecord` stream."""
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
@@ -110,13 +212,25 @@ class AuditLog:
     def __iter__(self):
         return iter(self._records)
 
-    def records(self) -> list[AuditRecord]:
-        """Records oldest to newest."""
+    def records(self) -> list:
+        """All records oldest to newest (decisions and model stream)."""
         return list(self._records)
+
+    def decisions(self) -> list[AuditRecord]:
+        """Only the per-decision records, oldest to newest."""
+        return [r for r in self._records if isinstance(r, AuditRecord)]
+
+    def divergences(self) -> list[DivergenceRecord]:
+        """Only the shadow-divergence records, oldest to newest."""
+        return [r for r in self._records if isinstance(r, DivergenceRecord)]
+
+    def model_events(self) -> list[ModelEventRecord]:
+        """Only the model-lifecycle records, oldest to newest."""
+        return [r for r in self._records if isinstance(r, ModelEventRecord)]
 
     def find(self, interval: int) -> AuditRecord | None:
         for record in self._records:
-            if record.interval == interval:
+            if isinstance(record, AuditRecord) and record.interval == interval:
                 return record
         return None
 
@@ -134,7 +248,7 @@ class AuditLog:
     def read_jsonl(path) -> "AuditLog":
         text = Path(path).read_text()
         records = [
-            AuditRecord.from_json(json.loads(line))
+            record_from_json(json.loads(line))
             for line in text.splitlines()
             if line.strip()
         ]
@@ -193,29 +307,55 @@ def explain(record: AuditRecord, qos_ms: float | None = None) -> str:
     return "\n".join(lines)
 
 
-def format_audit_table(records: list[AuditRecord]) -> str:
-    """One line per decision (the ``repro audit`` overview)."""
+def format_audit_table(records: list) -> str:
+    """One line per decision (the ``repro audit`` overview).
+
+    Accepts a mixed stream: shadow divergences and model-lifecycle
+    events are rendered as interleaved marker lines."""
     header = (
         f"{'ivl':>5} {'t(s)':>6} {'p99(ms)':>8} {'cands':>5} "
         f"{'chosen':>16} {'cpu':>7} {'p_viol':>7} {'why':<28}"
     )
     lines = [header, "-" * len(header)]
     for r in records:
-        lines.append(
-            f"{r.interval:>5} {r.time:>6.0f} {r.measured_p99_ms:>8.1f} "
-            f"{r.n_candidates:>5} {r.chosen_kind:>16} "
-            f"{r.chosen_total_cpu:>7.1f} "
-            f"{r.violation_prob:>7.3f} {(r.fallback_reason or '-'):<28}"
-        )
+        if isinstance(r, DivergenceRecord):
+            lines.append(
+                f"{r.interval:>5} {r.time:>6.0f}   ~ shadow "
+                f"v{r.challenger_version} diverged: "
+                f"{r.challenger_kind} ({r.challenger_total_cpu:.1f} cpu) "
+                f"vs live {r.incumbent_kind} "
+                f"({r.incumbent_total_cpu:.1f} cpu)"
+            )
+        elif isinstance(r, ModelEventRecord):
+            why = f": {r.reason}" if r.reason else ""
+            lines.append(
+                f"{r.interval:>5} {r.time:>6.0f}   * model v{r.version} "
+                f"{r.event}{why}"
+            )
+        else:
+            lines.append(
+                f"{r.interval:>5} {r.time:>6.0f} {r.measured_p99_ms:>8.1f} "
+                f"{r.n_candidates:>5} {r.chosen_kind:>16} "
+                f"{r.chosen_total_cpu:>7.1f} "
+                f"{r.violation_prob:>7.3f} {(r.fallback_reason or '-'):<28}"
+            )
     return "\n".join(lines)
 
 
 __all__ = [
     "AuditRecord",
+    "DivergenceRecord",
+    "ModelEventRecord",
     "AuditLog",
     "explain",
     "format_audit_table",
+    "record_from_json",
     "REASON_BOOST",
     "REASON_PREDICTOR_FAILURE",
     "REASON_NO_ACCEPTABLE",
+    "EVENT_DRIFT",
+    "EVENT_RETRAIN_STARTED",
+    "EVENT_SHADOW_STARTED",
+    "EVENT_PROMOTED",
+    "EVENT_REJECTED",
 ]

@@ -93,4 +93,49 @@ class CapacityFault(Behavior):
         return extra
 
 
-__all__ = ["Behavior", "CapacityFault"]
+class CapacityDrift(Behavior):
+    """Permanent, gradual capacity regression on selected tiers.
+
+    Unlike :class:`CapacityFault` (a periodic stall the incumbent model
+    can ride out), this models the slow deployment drift of paper
+    Section 5.4 — a platform change, a software update that makes
+    requests more expensive — that invalidates the training
+    distribution: starting at ``start``, capacity ramps linearly down
+    over ``ramp`` seconds to ``final_capacity`` of nominal and stays
+    there.
+    """
+
+    def __init__(
+        self,
+        start: float,
+        ramp: float,
+        final_capacity: float,
+        tiers: list[int] | None = None,
+    ) -> None:
+        if ramp < 0:
+            raise ValueError("ramp must be >= 0")
+        if not (0.0 < final_capacity <= 1.0):
+            raise ValueError("final_capacity must be in (0, 1]")
+        self.start = start
+        self.ramp = ramp
+        self.final_capacity = final_capacity
+        self.tiers = tiers
+        """Affected tier indices (``None`` = every tier)."""
+
+    def capacity_multiplier(self, time: float, n_tiers: int) -> np.ndarray | None:
+        if time < self.start:
+            return None
+        if self.ramp > 0:
+            progress = min((time - self.start) / self.ramp, 1.0)
+        else:
+            progress = 1.0
+        factor = 1.0 + progress * (self.final_capacity - 1.0)
+        mult = np.ones(n_tiers)
+        if self.tiers is None:
+            mult[:] = factor
+        else:
+            mult[self.tiers] = factor
+        return mult
+
+
+__all__ = ["Behavior", "CapacityFault", "CapacityDrift"]

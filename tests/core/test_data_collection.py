@@ -78,6 +78,44 @@ class TestBanditExplorer:
                 break
 
 
+class TestBanditNaNLatency:
+    def test_nan_latency_blocks_reclamation(self, config):
+        """A non-finite measured latency (idle interval, corrupted
+        telemetry) must not read as "comfortably meeting QoS": no tier
+        may be reclaimed below its current allocation."""
+        cluster = make_tiny_cluster(users=100, seed=4)
+        for _ in range(3):
+            cluster.step()
+        cluster.telemetry.latest.latency_ms[:] = np.nan
+        explorer = BanditExplorer(config, seed=0)
+        before = cluster.current_alloc.copy()
+        alloc = explorer.decide(cluster)
+        assert np.all(alloc >= before - 1e-9)
+
+    def test_nan_latency_skips_arm_updates(self, config):
+        """The QoS-met outcome of a blind step is meaningless (NaN <= x
+        is False); the Bernoulli arm statistics must not absorb it."""
+        cluster = make_tiny_cluster(users=100, seed=4)
+        for _ in range(3):
+            cluster.step()
+        cluster.telemetry.latest.latency_ms[:] = np.nan
+        explorer = BanditExplorer(config, seed=0)
+        explorer.decide(cluster)
+        assert explorer._pending == []
+        explorer.observe(False)  # the inconsistent "not met" outcome
+        assert explorer.n_arms_visited == 0
+
+    def test_finite_latency_still_updates_arms(self, config):
+        cluster = make_tiny_cluster(users=100, seed=4)
+        for _ in range(3):
+            cluster.step()
+        explorer = BanditExplorer(config, seed=0)
+        explorer.decide(cluster)
+        assert len(explorer._pending) == cluster.n_tiers
+        explorer.observe(True)
+        assert explorer.n_arms_visited > 0
+
+
 class TestOtherPolicies:
     def test_random_policy_moves_within_bounds(self):
         cluster = make_tiny_cluster(users=50, seed=0)

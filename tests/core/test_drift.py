@@ -1,0 +1,202 @@
+"""Drift-detector unit tests on synthetic decision streams."""
+
+import math
+
+import pytest
+
+from repro.core.drift import (
+    REASON_CALIBRATION,
+    REASON_FALLBACK_RATE,
+    REASON_MISPREDICTION_RATE,
+    DriftConfig,
+    DriftDetector,
+    scan_audit,
+)
+from repro.obs.audit import (
+    REASON_BOOST,
+    REASON_NO_ACCEPTABLE,
+    AuditRecord,
+)
+
+QOS_MS = 200.0
+
+
+def feed_healthy(detector, n, p99=120.0):
+    """n well-calibrated, violation-free decisions."""
+    signals = []
+    for _ in range(n):
+        detector.observe(measured_ms=p99, predicted_ms=p99)
+        sig = detector.check()
+        if sig is not None:
+            signals.append(sig)
+    return signals
+
+
+class TestNoDrift:
+    def test_healthy_stream_never_signals(self):
+        detector = DriftDetector(QOS_MS)
+        assert feed_healthy(detector, 300) == []
+        assert detector.signals == []
+
+    def test_sub_threshold_rates_stay_quiet(self):
+        cfg = DriftConfig(window=40, min_decisions=20,
+                          misprediction_rate=0.10, fallback_rate=0.30)
+        detector = DriftDetector(QOS_MS, cfg)
+        # 1-in-20 mispredictions (5%), 1-in-5 fallbacks (20%): both below.
+        for i in range(200):
+            detector.observe(
+                measured_ms=130.0,
+                predicted_ms=130.0,
+                mispredicted=(i % 20 == 0),
+                fallback=(i % 5 == 0),
+            )
+            assert detector.check() is None
+
+    def test_nan_telemetry_does_not_poison_calibration(self):
+        """Idle intervals measure NaN; they must neither count toward
+        calibration error nor suppress legitimate samples."""
+        detector = DriftDetector(QOS_MS)
+        for i in range(120):
+            measured = math.nan if i % 3 == 0 else 140.0
+            detector.observe(measured_ms=measured, predicted_ms=140.0)
+            assert detector.check() is None
+
+    def test_min_decisions_gate(self):
+        cfg = DriftConfig(window=40, min_decisions=20, misprediction_rate=0.10)
+        detector = DriftDetector(QOS_MS, cfg)
+        # Every decision a misprediction, but the window is too short to
+        # judge for the first 19 decisions.
+        for i in range(19):
+            detector.observe(150.0, 150.0, mispredicted=True)
+            assert detector.check() is None
+        detector.observe(150.0, 150.0, mispredicted=True)
+        assert detector.check() is not None
+
+
+class TestDriftSignals:
+    def test_misprediction_burst_signals_with_reason(self):
+        detector = DriftDetector(QOS_MS)
+        feed_healthy(detector, 100)
+        signal = None
+        for _ in range(40):
+            detector.observe(260.0, 150.0, mispredicted=True)
+            signal = detector.check()
+            if signal is not None:
+                break
+        assert signal is not None
+        assert signal.reason == REASON_MISPREDICTION_RATE
+        assert signal.value > signal.threshold
+        assert detector.signals == [signal]
+
+    def test_fallback_storm_signals_with_reason(self):
+        cfg = DriftConfig(misprediction_rate=2.0)  # isolate fallback reason
+        detector = DriftDetector(QOS_MS, cfg)
+        feed_healthy(detector, 100)
+        signal = None
+        for _ in range(40):
+            detector.observe(180.0, math.nan, fallback=True)
+            signal = detector.check()
+            if signal is not None:
+                break
+        assert signal is not None
+        assert signal.reason == REASON_FALLBACK_RATE
+
+    def test_calibration_drift_signals_with_reason(self):
+        """Injected calibration drift: predictions stay at 120ms while
+        reality moves to 120 + 0.5*QoS — no violation, no fallback, but
+        the regression head is clearly stale."""
+        detector = DriftDetector(QOS_MS)
+        feed_healthy(detector, 100)
+        signal = None
+        for _ in range(40):
+            detector.observe(measured_ms=220.0, predicted_ms=120.0)
+            signal = detector.check()
+            if signal is not None:
+                break
+        assert signal is not None
+        assert signal.reason == REASON_CALIBRATION
+        # Fires as soon as the windowed mean crosses the threshold; the
+        # asymptotic error of the injected drift is 100ms / QoS = 0.5.
+        assert signal.threshold < signal.value <= 100.0 / QOS_MS + 1e-9
+
+    def test_cooldown_suppresses_resignal(self):
+        cfg = DriftConfig(cooldown=50)
+        detector = DriftDetector(QOS_MS, cfg)
+        fired_at = []
+        for _ in range(200):
+            detector.observe(260.0, 150.0, mispredicted=True)
+            if detector.check() is not None:
+                fired_at.append(detector.decisions_seen)
+        assert len(fired_at) >= 2
+        for a, b in zip(fired_at, fired_at[1:]):
+            assert b - a >= cfg.cooldown
+
+    def test_reset_clears_window_keeps_signals(self):
+        detector = DriftDetector(QOS_MS)
+        for _ in range(40):
+            detector.observe(260.0, 150.0, mispredicted=True)
+            detector.check()
+        assert len(detector.signals) == 1
+        detector.reset()
+        assert detector.signals  # history survives episode boundaries
+        assert feed_healthy(detector, 100) == []
+
+    def test_signal_describe_mentions_reason(self):
+        detector = DriftDetector(QOS_MS)
+        for _ in range(40):
+            detector.observe(260.0, 150.0, mispredicted=True)
+            detector.check()
+        text = detector.signals[0].describe()
+        assert REASON_MISPREDICTION_RATE in text
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError, match="qos_ms"):
+            DriftDetector(0.0)
+        with pytest.raises(ValueError, match="window"):
+            DriftConfig(window=0)
+        with pytest.raises(ValueError, match="min_decisions"):
+            DriftConfig(min_decisions=0)
+
+
+def make_record(i, *, measured=130.0, predicted=130.0, reason=None):
+    return AuditRecord(
+        interval=i,
+        time=float(i + 1),
+        measured_p99_ms=measured,
+        rps=100.0,
+        total_cpu=8.0,
+        n_candidates=5,
+        chosen_kind="hold",
+        chosen_total_cpu=8.0,
+        predicted_p99_ms=predicted,
+        fallback_reason=reason,
+    )
+
+
+class TestScanAudit:
+    def test_clean_stream_no_signal(self):
+        records = [make_record(i) for i in range(120)]
+        assert scan_audit(records, QOS_MS) == []
+
+    def test_boost_records_count_as_mispredictions(self):
+        records = [make_record(i) for i in range(100)]
+        records += [
+            make_record(100 + i, measured=260.0, predicted=math.nan,
+                        reason=REASON_BOOST)
+            for i in range(40)
+        ]
+        signals = scan_audit(records, QOS_MS)
+        assert signals
+        assert signals[0].reason == REASON_MISPREDICTION_RATE
+
+    def test_no_acceptable_records_count_as_fallbacks(self):
+        cfg = DriftConfig(misprediction_rate=2.0, calibration_frac=2.0)
+        records = [make_record(i) for i in range(100)]
+        records += [
+            make_record(100 + i, predicted=math.nan,
+                        reason=REASON_NO_ACCEPTABLE)
+            for i in range(40)
+        ]
+        signals = scan_audit(records, QOS_MS, cfg)
+        assert signals
+        assert signals[0].reason == REASON_FALLBACK_RATE

@@ -196,6 +196,44 @@ class TestSerialization:
             HybridPredictor.load(path)
 
 
+class TestScalerAlpha:
+    def test_explicit_alpha_is_honored(self):
+        cfg = PredictorConfig(scaler_alpha=0.002)
+        predictor = HybridPredictor(make_tiny_graph(), QOS, cfg, seed=0)
+        assert predictor.scaler.alpha == 0.002
+
+    def test_none_alpha_derived_from_qos(self):
+        predictor = HybridPredictor(make_tiny_graph(), QOS, seed=0)
+        assert predictor.scaler.alpha == pytest.approx(1.0 / QOS.latency_ms)
+
+    def test_zero_alpha_is_not_treated_as_unset(self):
+        """Falsy-zero regression: an explicit ``scaler_alpha=0.0`` used
+        to silently fall back to the QoS-derived value; it must instead
+        hit the scaler's own positivity check."""
+        with pytest.raises(ValueError, match="alpha"):
+            HybridPredictor(
+                make_tiny_graph(), QOS, PredictorConfig(scaler_alpha=0.0), seed=0
+            )
+
+
+class TestScoreBuckets:
+    def test_retrain_invalidates_cached_buckets(self, trained, tiny_dataset):
+        """``_lat_buckets`` derives from ``rmse_val``; installing a new
+        TrainingReport (fine-tune / promotion) must drop the cache so the
+        observability histograms track the new model's error scale."""
+        import copy
+
+        tuned = copy.deepcopy(trained)
+        before = tuned._score_buckets()
+        assert tuned.__dict__.get("_lat_buckets") == before  # cached
+        tuned.fine_tune(tiny_dataset, epochs=1)
+        assert "_lat_buckets" not in tuned.__dict__
+        after = tuned._score_buckets()
+        assert after[0] == pytest.approx(
+            round(max(float(tuned.rmse_val), 1.0), 3)
+        )
+
+
 class TestFineTune:
     def test_fine_tune_updates_report(self, trained, tiny_dataset):
         import copy

@@ -360,3 +360,69 @@ class TestBookkeeping:
         sched = make_scheduler(StubPredictor(), p_down=0.5, p_up=0.9)
         assert sched.p_down == 0.5
         assert sched.p_up == 0.9
+
+
+class CalibratedStub(StubPredictor):
+    """Stub whose calibrated thresholds are settable (promotion tests)."""
+
+    def __init__(self, p_down, p_up, **kwargs):
+        super().__init__(**kwargs)
+        self._thresholds = (p_down, p_up)
+
+    @property
+    def thresholds(self):
+        return self._thresholds
+
+
+class TestPromotion:
+    def test_refresh_thresholds_rereads_calibration(self):
+        sched = make_scheduler(CalibratedStub(0.02, 0.08), p_down=None, p_up=None)
+        assert sched.p_up == pytest.approx(0.08)
+        sched.predictor = CalibratedStub(0.05, 0.3)
+        sched.refresh_thresholds()
+        assert sched.p_down == pytest.approx(0.05)
+        assert sched.p_up == pytest.approx(0.3)
+
+    def test_refresh_keeps_explicit_config(self):
+        sched = make_scheduler(CalibratedStub(0.02, 0.08), p_down=0.01, p_up=0.2)
+        sched.predictor = CalibratedStub(0.5, 0.9)
+        sched.refresh_thresholds()
+        assert sched.p_down == 0.01
+        assert sched.p_up == 0.2
+
+    def test_promoted_calibration_reaches_select(self):
+        """A promoted model's recalibrated ``p_down`` must change what
+        ``_select`` accepts — the __init__-time snapshot regression."""
+        prob_fn = lambda alloc: 0.04  # noqa: E731 - every action mildly risky
+        sched = make_scheduler(
+            CalibratedStub(0.02, 0.08, prob_fn=prob_fn),
+            p_down=None, p_up=None,
+        )
+        log = make_log(p99=100.0, alloc=2.0, util=0.3)
+        held = sched.decide(log)
+        # p_down=0.02 rejects every scale-down at prob 0.04 -> hold.
+        assert held.sum() == pytest.approx(2.0 * N)
+
+        promoted = CalibratedStub(0.06, 0.3, prob_fn=prob_fn)
+        sched.adopt_predictor(promoted)
+        assert sched.predictor is promoted
+        assert sched.p_down == pytest.approx(0.06)
+        down = sched.decide(log)
+        # The recalibrated p_down=0.06 accepts scale-downs at prob 0.04.
+        assert down.sum() < 2.0 * N - 1e-6
+
+    def test_adopt_predictor_resets_safety_state(self):
+        sched = make_scheduler(StubPredictor())
+        log = make_log(p99=500.0)  # violating, unpredicted -> boost
+        sched.decide(log)
+        assert sched.mispredictions == 1
+        sched.adopt_predictor(StubPredictor())
+        assert sched.mispredictions == 0
+        assert sched._cooldown == 0
+        assert sched.trusted
+
+    def test_adopt_predictor_can_keep_safety_state(self):
+        sched = make_scheduler(StubPredictor())
+        sched.decide(make_log(p99=500.0))
+        sched.adopt_predictor(StubPredictor(), reset_safety=False)
+        assert sched.mispredictions == 1

@@ -5,13 +5,18 @@ import math
 import pytest
 
 from repro.obs.audit import (
+    EVENT_DRIFT,
+    EVENT_PROMOTED,
     REASON_BOOST,
     REASON_NO_ACCEPTABLE,
     REASON_PREDICTOR_FAILURE,
     AuditLog,
     AuditRecord,
+    DivergenceRecord,
+    ModelEventRecord,
     explain,
     format_audit_table,
+    record_from_json,
 )
 
 
@@ -138,3 +143,80 @@ def test_format_audit_table():
     assert "chosen" in lines[0]
     assert REASON_BOOST in lines[3]
     assert lines[2].strip().startswith("0")
+
+
+def make_divergence(interval: int = 5) -> DivergenceRecord:
+    return DivergenceRecord(
+        interval=interval,
+        time=float(interval),
+        challenger_version=2,
+        incumbent_kind="hold",
+        challenger_kind="scale_up",
+        incumbent_total_cpu=12.0,
+        challenger_total_cpu=14.0,
+        incumbent_predicted_p99_ms=130.0,
+        challenger_predicted_p99_ms=95.0,
+    )
+
+
+def make_event(interval: int = 3, event: str = EVENT_DRIFT) -> ModelEventRecord:
+    return ModelEventRecord(
+        interval=interval,
+        time=float(interval),
+        event=event,
+        version=1,
+        reason="misprediction-rate",
+        detail="rate 0.4 > 0.2",
+    )
+
+
+class TestContinuousLearningRecords:
+    def test_divergence_json_round_trip(self):
+        record = make_divergence()
+        data = record.to_json()
+        assert data["record"] == "divergence"
+        assert record_from_json(data) == record
+
+    def test_model_event_json_round_trip(self):
+        record = make_event()
+        data = record.to_json()
+        assert data["record"] == "model-event"
+        assert record_from_json(data) == record
+
+    def test_untagged_line_decodes_as_decision(self):
+        record = make_record(2)
+        assert record_from_json(record.to_json()) == record
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown audit record"):
+            record_from_json({"record": "telepathy"})
+
+    def test_mixed_log_filters(self):
+        log = AuditLog()
+        log.append(make_record(0))
+        log.append(make_event(0))
+        log.append(make_record(1))
+        log.append(make_divergence(1))
+        assert len(log.decisions()) == 2
+        assert len(log.divergences()) == 1
+        assert len(log.model_events()) == 1
+        assert len(log.records()) == 4
+        # find() only matches decisions, not same-interval markers.
+        assert isinstance(log.find(1), AuditRecord)
+
+    def test_mixed_jsonl_round_trip(self, tmp_path):
+        log = AuditLog()
+        log.append(make_record(0))
+        log.append(make_event(0, EVENT_PROMOTED))
+        log.append(make_divergence(1))
+        path = tmp_path / "audit.jsonl"
+        log.write_jsonl(path)
+        restored = AuditLog.read_jsonl(path)
+        assert restored.records() == log.records()
+
+    def test_mixed_table_renders_markers(self):
+        table = format_audit_table(
+            [make_record(0), make_divergence(1), make_event(2, EVENT_PROMOTED)]
+        )
+        assert "~ shadow v2 diverged" in table
+        assert "* model v1 promoted" in table

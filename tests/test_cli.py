@@ -75,6 +75,22 @@ class TestParser:
         assert args.audit_out == "a.jsonl"
         assert args.trace_sample == 5
 
+    def test_run_continuous_flag(self):
+        assert not _build_parser().parse_args(["run"]).continuous
+        args = _build_parser().parse_args(["run", "--continuous"])
+        assert args.continuous
+
+    def test_retrain_defaults(self):
+        args = _build_parser().parse_args(["retrain"])
+        assert args.users == 250
+        assert args.duration == 240
+        assert args.drift_start == 60.0
+        assert args.drift_ramp == 30.0
+        assert args.drift_capacity == 0.55
+        assert args.registry is None
+        assert not args.require_promotion
+        assert args.audit_out is None  # obs flags available
+
     def test_audit_subcommand(self):
         args = _build_parser().parse_args(
             ["audit", "a.jsonl", "--interval", "7", "--qos", "500"]
@@ -203,3 +219,78 @@ class TestObservabilityArtifacts:
         path.write_text("")
         assert main(["audit", str(path)]) == 1
         assert "empty audit log" in capsys.readouterr().out
+
+    def test_audit_table_handles_mixed_records(self, tmp_path, capsys):
+        from repro.obs import AuditLog, AuditRecord, ModelEventRecord
+        from repro.obs.audit import EVENT_PROMOTED
+
+        log = AuditLog()
+        log.append(AuditRecord(
+            interval=0, time=0.0, measured_p99_ms=120.0, rps=800.0,
+            total_cpu=12.0, n_candidates=9, chosen_kind="hold",
+            chosen_total_cpu=12.0,
+        ))
+        log.append(ModelEventRecord(
+            interval=0, time=0.0, event=EVENT_PROMOTED, version=2
+        ))
+        path = tmp_path / "mixed.jsonl"
+        log.write_jsonl(path)
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "* model v2 promoted" in out
+        assert "1 decisions (0 on safety/fallback paths, " \
+               "1 model/shadow markers)" in out
+
+
+class TestContinuousExecution:
+    """`run --continuous` and `retrain` with a stub model (no training)."""
+
+    @pytest.fixture
+    def stub_trainer(self, monkeypatch):
+        import repro.harness.pipeline as pipeline
+        from tests.core.test_continuous import TunableStub
+
+        class StubModel(TunableStub):
+            def save(self, path):
+                from pathlib import Path
+
+                Path(path).write_bytes(b"stub-envelope")
+
+        monkeypatch.setattr(
+            pipeline, "get_trained_predictor", lambda *a, **kw: StubModel()
+        )
+
+    def test_run_continuous_requires_sinan(self, capsys):
+        code = main([
+            "run", "--manager", "static", "--continuous", "--duration", "25",
+        ])
+        assert code == 2
+        assert "requires --manager sinan" in capsys.readouterr().err
+
+    def test_run_continuous_episode(self, stub_trainer, capsys):
+        code = main([
+            "run", "--manager", "sinan", "--app", "social_network",
+            "--continuous", "--users", "20", "--duration", "25",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "continuous:" in out
+        assert "final state" in out
+
+    def test_retrain_drift_scenario(self, stub_trainer, tmp_path, capsys):
+        audit = tmp_path / "audit.jsonl"
+        registry = tmp_path / "models"
+        code = main([
+            "retrain", "--app", "social_network", "--budget", "small",
+            "--users", "100", "--duration", "50",
+            "--drift-start", "10", "--drift-ramp", "5",
+            "--drift-capacity", "0.5",
+            "--registry", str(registry), "--audit-out", str(audit),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "drift signals:" in out
+        assert "post-window" in out
+        assert "model registry" in out
+        assert audit.exists()
+        assert (registry / "manifest.json").exists()
