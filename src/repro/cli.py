@@ -218,6 +218,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--training", action="store_true",
                        help="benchmark model training (histogram trees, "
                             "im2col CNN) instead of the decision path")
+    bench.add_argument("--episode", action="store_true",
+                       help="benchmark the end-to-end episode loop "
+                            "(Sinan-attached fluid episodes + event-engine "
+                            "runs, fast vs reference, BENCH_episode.json)")
     bench.add_argument("--candidates", default="16,64,128",
                        help="comma-separated candidate batch sizes")
     bench.add_argument("--window", type=int, default=5,
@@ -572,6 +576,8 @@ def cmd_bench(args) -> int:
         return _cmd_bench_training(args, small)
     if args.sim:
         return _cmd_bench_sim(args, small)
+    if args.episode:
+        return _cmd_bench_episode(args, small)
 
     counts = tuple(int(c) for c in args.candidates.split(",") if c.strip())
     repeats = args.repeats if args.repeats is not None else 30
@@ -632,6 +638,50 @@ def _cmd_bench_sim(args, small: bool) -> int:
 
         print(f"wrote {resolve_output(output)}")
     return 0 if results["equivalence"]["all"] else 1
+
+
+def _cmd_bench_episode(args, small: bool) -> int:
+    from repro.harness.bench import (
+        EpisodeBenchConfig,
+        format_episode_bench,
+        run_episode_bench,
+    )
+
+    repeats = args.repeats if args.repeats is not None else 3
+    intervals = args.intervals if args.intervals is not None else 25
+    component_repeats = 30
+    decide_repeats = 30
+    equivalence_intervals = 12
+    event_repeats = 4
+    if small:
+        # CI smoke: fewer timed repeats/intervals.  The equivalence
+        # episodes and event-engine runs are full-strength — their cost
+        # is seconds and they are the actual gate.
+        repeats = min(repeats, 2)
+        intervals = min(intervals, 12)
+        component_repeats = 8
+        decide_repeats = 10
+        event_repeats = 3
+        equivalence_intervals = 8
+    output = args.output if args.output is not None else "BENCH_episode.json"
+    results = run_episode_bench(EpisodeBenchConfig(
+        app=args.app,
+        decision_intervals=intervals,
+        repeats=repeats,
+        seed=args.seed,
+        n_timesteps=args.window,
+        component_repeats=component_repeats,
+        decide_repeats=decide_repeats,
+        equivalence_intervals=equivalence_intervals,
+        event_repeats=event_repeats,
+        output=output,
+    ))
+    print(format_episode_bench(results))
+    if output:
+        from repro.harness.bench import resolve_output
+
+        print(f"wrote {resolve_output(output)}")
+    return 0 if results["equivalent"] else 1
 
 
 def _cmd_bench_training(args, small: bool) -> int:

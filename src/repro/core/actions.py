@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -34,6 +35,13 @@ class ActionKind(enum.Enum):
     SCALE_UP_VICTIM = "scale_up_victim"
 
 
+#: Stable integer codes for :class:`ActionKind`, used by the vectorized
+#: control loop (:meth:`ActionSpace.candidates_fast`) so candidate kinds
+#: travel as one int array instead of per-object enum references.
+KINDS_BY_CODE: tuple[ActionKind, ...] = tuple(ActionKind)
+KIND_CODES: dict[ActionKind, int] = {k: i for i, k in enumerate(KINDS_BY_CODE)}
+
+
 @dataclass(frozen=True)
 class Action:
     """One candidate: the resulting allocation and its provenance."""
@@ -42,9 +50,35 @@ class Action:
     alloc: np.ndarray
     description: str
 
-    @property
+    @cached_property
     def total_cpu(self) -> float:
+        # Cached: the scheduler's selection loops compare total CPU many
+        # times per candidate set, and the sum never changes (frozen
+        # dataclass, allocations are never mutated after construction).
         return float(self.alloc.sum())
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """The vectorized form of one decision's candidate actions.
+
+    Row ``i`` of :attr:`allocs` is what ``candidates()[i].alloc`` would
+    be — same generation order, same dedupe contract — with the kind and
+    total CPU carried as parallel arrays instead of per-Action objects.
+    """
+
+    allocs: np.ndarray
+    """``(B, n_tiers)`` candidate allocation matrix."""
+    kinds: np.ndarray
+    """``(B,)`` int codes into :data:`KINDS_BY_CODE`."""
+    total_cpu: np.ndarray
+    """``(B,)`` row sums of :attr:`allocs`."""
+
+    def __len__(self) -> int:
+        return self.allocs.shape[0]
+
+    def kind_of(self, index: int) -> ActionKind:
+        return KINDS_BY_CODE[int(self.kinds[index])]
 
 
 #: Absolute per-tier CPU steps (cores), per the paper: 0.2 up to 1.0.
@@ -213,6 +247,165 @@ class ActionSpace:
                 )
         return self._dedupe(actions)
 
+    def candidates_fast(
+        self,
+        current: np.ndarray,
+        cpu_util: np.ndarray,
+        victims: np.ndarray | None = None,
+        allow_scale_down: bool = True,
+    ) -> CandidateSet:
+        """Vectorized :meth:`candidates`: same rows, no Action objects.
+
+        Emits the ``(B, n_tiers)`` candidate matrix directly — the exact
+        allocations, order, and dedupe of the Action-list path (which is
+        retained as the oracle; ``tests/core/test_fast_control.py`` holds
+        the two bitwise-equal) — so the scheduler's hot loop never builds
+        or re-stacks per-candidate objects.
+        """
+        current = np.asarray(current, dtype=float)
+        cpu_util = np.asarray(cpu_util, dtype=float)
+        n = self.n_tiers
+        busy = cpu_util * current
+        blocks: list[np.ndarray] = [current[None, :].copy()]
+        codes: list[np.ndarray] = [
+            np.full(1, KIND_CODES[ActionKind.HOLD], dtype=np.int64)
+        ]
+
+        # Per-tier step menu, shared by scale-down and scale-up: the
+        # sorted union of the absolute steps and this tier's relative
+        # steps, with exact duplicates masked (``_down_steps`` builds the
+        # same menu via sorted(set(...))).
+        n_abs = len(self.absolute_steps)
+        steps = np.empty((n, n_abs + len(self.relative_steps)))
+        steps[:, :n_abs] = self.absolute_steps
+        steps[:, n_abs:] = current[:, None] * np.asarray(self.relative_steps)
+        steps.sort(axis=1)
+        fresh = np.ones(steps.shape, dtype=bool)
+        fresh[:, 1:] = steps[:, 1:] != steps[:, :-1]
+        tiers = np.repeat(np.arange(n), steps.shape[1])
+        flat_steps = steps.ravel()
+        flat_fresh = fresh.ravel()
+        cur_t = current[tiers]
+
+        def one_tier_block(tiers_hit: np.ndarray, values: np.ndarray) -> np.ndarray:
+            block = np.repeat(current[None, :], tiers_hit.size, axis=0)
+            block[np.arange(tiers_hit.size), tiers_hit] = values
+            return block
+
+        if allow_scale_down:
+            down_vals = np.maximum(cur_t - flat_steps, self.min_alloc[tiers])
+            moved = ~np.isclose(down_vals, cur_t)
+            shrunk = down_vals < cur_t - 1e-12
+            util_fine = ~shrunk | (
+                busy[tiers] / np.maximum(down_vals, 1e-9) <= self.util_cap
+            )
+            valid = (
+                flat_fresh
+                & (cur_t > self.min_alloc[tiers])
+                & moved
+                & util_fine
+            )
+            blocks.append(one_tier_block(tiers[valid], down_vals[valid]))
+            codes.append(
+                np.full(
+                    int(valid.sum()), KIND_CODES[ActionKind.SCALE_DOWN],
+                    dtype=np.int64,
+                )
+            )
+
+            order = np.argsort(cpu_util)
+            n_batch = 2 * len(self.batch_sizes)
+            batch = np.repeat(current[None, :], n_batch, axis=0)
+            row = 0
+            for k in self.batch_sizes:
+                chosen = order[: min(k, n)]
+                floor = self.min_alloc[chosen]
+                batch[row, chosen] = np.maximum(current[chosen] - 0.2, floor)
+                batch[row + 1, chosen] = np.maximum(current[chosen] * 0.9, floor)
+                row += 2
+            near = np.isclose(batch, current[None, :]).all(axis=1)
+            b_shrunk = batch < current[None, :] - 1e-12
+            b_fine = (
+                ~b_shrunk
+                | (busy[None, :] / np.maximum(batch, 1e-9) <= self.util_cap)
+            ).all(axis=1)
+            b_valid = ~near & b_fine
+            blocks.append(batch[b_valid])
+            codes.append(
+                np.full(
+                    int(b_valid.sum()),
+                    KIND_CODES[ActionKind.SCALE_DOWN_BATCH],
+                    dtype=np.int64,
+                )
+            )
+
+        up_vals = np.minimum(cur_t + flat_steps, self.max_alloc[tiers])
+        up_valid = (
+            flat_fresh
+            & (cur_t < self.max_alloc[tiers])
+            & ~np.isclose(up_vals, cur_t)
+        )
+        blocks.append(one_tier_block(tiers[up_valid], up_vals[up_valid]))
+        codes.append(
+            np.full(
+                int(up_valid.sum()), KIND_CODES[ActionKind.SCALE_UP],
+                dtype=np.int64,
+            )
+        )
+
+        ratios = np.asarray(SCALE_UP_ALL_RATIOS)
+        up_all = self._clip(current[None, :] * (1.0 + ratios)[:, None])
+        a_valid = ~np.isclose(up_all, current[None, :]).all(axis=1)
+        blocks.append(up_all[a_valid])
+        codes.append(
+            np.full(
+                int(a_valid.sum()), KIND_CODES[ActionKind.SCALE_UP_ALL],
+                dtype=np.int64,
+            )
+        )
+
+        if victims is not None and victims.any():
+            v_alloc = current.copy()
+            v_alloc[victims] = np.minimum(
+                v_alloc[victims] + 0.6, self.max_alloc[victims]
+            )
+            if not np.isclose(v_alloc, current).all():
+                blocks.append(v_alloc[None, :])
+                codes.append(
+                    np.full(
+                        1, KIND_CODES[ActionKind.SCALE_UP_VICTIM],
+                        dtype=np.int64,
+                    )
+                )
+
+        allocs = np.concatenate(blocks, axis=0)
+        kinds = np.concatenate(codes)
+        keep = self._dedupe_rows(allocs)
+        allocs = np.ascontiguousarray(allocs[keep])
+        return CandidateSet(
+            allocs=allocs, kinds=kinds[keep], total_cpu=allocs.sum(axis=1)
+        )
+
+    @staticmethod
+    def _dedupe_rows(allocs: np.ndarray) -> np.ndarray:
+        """Surviving row indices under the :meth:`_dedupe` contract,
+        computed by lexsorting the rounded rows: duplicates land
+        adjacent (lexsort is stable, so within a duplicate group the
+        original order is preserved and the group's last element is the
+        last occurrence), the last of each group wins, and survivors are
+        re-sorted into their original relative order.
+        """
+        rounded = np.round(allocs, 9)
+        order = np.lexsort(rounded.T)
+        srt = rounded[order]
+        last_of_group = np.empty(order.size, dtype=bool)
+        last_of_group[-1] = True
+        if order.size > 1:
+            last_of_group[:-1] = (srt[1:] != srt[:-1]).any(axis=1)
+        keep = order[last_of_group]
+        keep.sort()
+        return keep
+
     @staticmethod
     def _dedupe(actions: list[Action]) -> list[Action]:
         """Drop candidates whose resulting allocation duplicates another
@@ -245,6 +438,9 @@ __all__ = [
     "Action",
     "ActionKind",
     "ActionSpace",
+    "CandidateSet",
+    "KIND_CODES",
+    "KINDS_BY_CODE",
     "ABSOLUTE_STEPS",
     "RELATIVE_STEPS",
 ]

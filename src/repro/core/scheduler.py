@@ -32,7 +32,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.actions import Action, ActionKind, ActionSpace
+from repro.core.actions import (
+    KIND_CODES,
+    Action,
+    ActionKind,
+    ActionSpace,
+    CandidateSet,
+)
 from repro.core.manager import Manager
 from repro.core.predictor import HybridPredictor
 from repro.core.qos import QoSTarget
@@ -111,10 +117,25 @@ class SchedulerConfig:
     resources again (favors stable allocations, paper Section 4.3)."""
 
 
+#: Kind codes the mask-based selection treats as resource reclamation.
+_DOWN_CODES = (
+    KIND_CODES[ActionKind.SCALE_DOWN],
+    KIND_CODES[ActionKind.SCALE_DOWN_BATCH],
+)
+_HOLD_CODE = KIND_CODES[ActionKind.HOLD]
+
+
 class OnlineScheduler(Manager):
     """QoS-aware allocation search over the pruned action space."""
 
     name = "sinan"
+
+    fast_control = True
+    """Route candidate generation and selection through the vectorized
+    path (:meth:`ActionSpace.candidates_fast` + :meth:`_select_fast`).
+    The Action-list path (:meth:`ActionSpace.candidates` +
+    :meth:`_select`) is the retained oracle; both produce bitwise-equal
+    decisions, so this toggle never changes behavior — only speed."""
 
     def __init__(
         self,
@@ -272,15 +293,25 @@ class OnlineScheduler(Manager):
             np.asarray(latest.cpu_util, dtype=float),
             nan=1.0, posinf=1.0, neginf=0.0,
         )
-        actions = self.action_space.candidates(
-            current,
-            cpu_util,
-            victims=victims,
-            allow_scale_down=allow_down,
-        )
-        candidates = np.stack([a.alloc for a in actions])
+        fast = self.fast_control
+        if fast:
+            cset = self.action_space.candidates_fast(
+                current,
+                cpu_util,
+                victims=victims,
+                allow_scale_down=allow_down,
+            )
+            candidates = cset.allocs
+        else:
+            actions = self.action_space.candidates(
+                current,
+                cpu_util,
+                victims=victims,
+                allow_scale_down=allow_down,
+            )
+            candidates = np.stack([a.alloc for a in actions])
         if note is not None:
-            note.n_candidates = len(actions)
+            note.n_candidates = len(candidates)
         try:
             latency, prob = self.predictor.predict_candidates(log, candidates)
             if not (np.all(np.isfinite(latency)) and np.all(np.isfinite(prob))):
@@ -303,17 +334,27 @@ class OnlineScheduler(Manager):
 
         pred_qos_lat = latency[:, self.qos.percentile_index]
 
-        chosen_idx = self._select(actions, pred_qos_lat, prob)
+        if fast:
+            chosen_idx = self._select_fast(cset, pred_qos_lat, prob)
+        else:
+            chosen_idx = self._select(actions, pred_qos_lat, prob)
         if chosen_idx is not None:
-            chosen = actions[chosen_idx]
+            if fast:
+                chosen_kind = cset.kind_of(chosen_idx)
+                chosen_alloc = candidates[chosen_idx]
+            else:
+                chosen_kind = actions[chosen_idx].kind
+                chosen_alloc = actions[chosen_idx].alloc
             self._last_predicted_safe = prob[chosen_idx] < self.p_up
             self._record(measured, float(pred_qos_lat[chosen_idx]), float(prob[chosen_idx]))
             if note is not None:
-                note.chosen_kind = chosen.kind.value
+                note.chosen_kind = chosen_kind.value
                 note.predicted_ms = float(pred_qos_lat[chosen_idx])
                 note.violation_prob = float(prob[chosen_idx])
         else:  # fallback to max allocation
-            chosen = self.action_space.max_allocation_action()
+            fallback = self.action_space.max_allocation_action()
+            chosen_kind = fallback.kind
+            chosen_alloc = fallback.alloc
             self.fallbacks += 1
             self._last_predicted_safe = False
             self._record(measured, np.nan, 1.0, fallback=True)
@@ -322,15 +363,15 @@ class OnlineScheduler(Manager):
                 note.fallback_reason = REASON_NO_ACCEPTABLE
                 note.violation_prob = 1.0
 
-        if chosen.kind in (
+        if chosen_kind in (
             ActionKind.SCALE_UP,
             ActionKind.SCALE_UP_ALL,
             ActionKind.SCALE_UP_VICTIM,
         ):
             self._cooldown = self.config.down_cooldown
-        went_down = chosen.alloc < current - 1e-9
+        went_down = chosen_alloc < current - 1e-9
         self._victim_age[went_down] = 0
-        return chosen.alloc
+        return chosen_alloc
 
     def _select(
         self, actions: list[Action], pred_lat: np.ndarray, prob: np.ndarray
@@ -375,6 +416,48 @@ class OnlineScheduler(Manager):
         if not ups:
             return None
         return min(ups, key=lambda i: actions[i].total_cpu)
+
+    def _select_fast(
+        self, cset: CandidateSet, pred_lat: np.ndarray, prob: np.ndarray
+    ) -> int | None:
+        """Mask-based :meth:`_select` over a :class:`CandidateSet`.
+
+        Same selection rules, same first-match tie-breaks: Python's
+        ``min`` keeps the first of equal keys and ``np.argmin`` returns
+        the first minimum, so ties resolve to the earliest candidate in
+        generation order on both paths.
+        """
+        margin = self.qos.latency_ms - self.predictor.rmse_val
+        kinds = cset.kinds
+        total_cpu = cset.total_cpu
+        is_hold = kinds == _HOLD_CODE
+        hold_idx = int(np.argmax(is_hold))
+        w = self.config.prob_smoothing
+        self._hold_p_ewma = (1.0 - w) * self._hold_p_ewma + w * prob[hold_idx]
+        hold_ok = self._hold_p_ewma < self.p_up and pred_lat[hold_idx] <= margin
+
+        is_down = (kinds == _DOWN_CODES[0]) | (kinds == _DOWN_CODES[1])
+        is_up = ~(is_down | is_hold)
+        acceptable = (pred_lat <= margin) & (
+            (is_down & (prob < self.p_down))
+            | (is_up & (prob < self.p_up))
+            | (is_hold if hold_ok else False)
+        )
+        if not acceptable.any():
+            return None
+        if hold_ok:
+            # Stable region: only leave hold for a strictly cheaper
+            # acceptable action (same 1e-9 improvement threshold).
+            cheaper = acceptable & (total_cpu < total_cpu[hold_idx] - 1e-9)
+            if not cheaper.any():
+                return hold_idx
+            idx = np.flatnonzero(cheaper)
+            return int(idx[np.argmin(total_cpu[idx])])
+        ups = acceptable & is_up
+        if not ups.any():
+            return None
+        idx = np.flatnonzero(ups)
+        return int(idx[np.argmin(total_cpu[idx])])
 
     def _record(
         self, measured: float, predicted: float, p_viol: float,

@@ -829,6 +829,391 @@ def format_sim_bench(results: dict) -> str:
     ])
 
 
+# ----------------------------------------------------------------------
+# Episode benchmark (end-to-end control loop + event engine)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EpisodeBenchConfig:
+    """Knobs of one ``repro bench --episode`` invocation.
+
+    Times the full Sinan-attached episode loop — fluid simulator steps
+    plus scheduler decisions — with every fast path enabled
+    (``predictor.fast_path`` + ``scheduler.fast_control`` +
+    ``fast_sim``) against the full reference stack (Action-list
+    candidates, list-based ``_select``, per-candidate model path), the
+    struct-of-arrays event engine against ``run_reference``, and the
+    per-decision wall time of ``OnlineScheduler.decide`` against the
+    sum of its model components at B=64.  Equivalence gates (decision
+    traces, telemetry, event summaries, RNG state) run in normal and
+    fault-profile episodes.
+    """
+
+    app: str = "social_network"
+    decision_intervals: int = 25
+    repeats: int = 3
+    seed: int = 0
+    n_trees: int = 300
+    tree_depth: int = 6
+    n_timesteps: int = 5
+    component_candidates: int = 64
+    component_repeats: int = 30
+    decide_repeats: int = 30
+    equivalence_intervals: int = 12
+    fault_profile: str = "chaos"
+    event_alloc: float = 1.0
+    event_rps: float = 120.0
+    event_duration: float = 20.0
+    event_repeats: int = 6
+    output: str = "BENCH_episode.json"
+
+
+def _component_config(config: EpisodeBenchConfig) -> BenchConfig:
+    """The decision-path ``BenchConfig`` matching an episode config."""
+    return BenchConfig(
+        app=config.app,
+        n_timesteps=config.n_timesteps,
+        repeats=config.component_repeats,
+        seed=config.seed,
+        n_trees=config.n_trees,
+        tree_depth=config.tree_depth,
+        decision_intervals=config.decision_intervals,
+        output="",
+    )
+
+
+def _run_episode(
+    predictor: HybridPredictor,
+    spec,
+    graph,
+    fast: bool,
+    intervals: int,
+    seed: int,
+    fault_profile: str | None = None,
+):
+    """Replay one managed episode end to end.
+
+    ``fast`` toggles the whole stack at once: the predictor's
+    shared-trunk path and the scheduler's matrix candidate/select path.
+    Returns ``(trace, telemetry, wall_s)`` where the wall time covers
+    simulator steps *and* decisions — the Sinan-attached throughput the
+    benchmark reports.
+    """
+    lo, hi = spec.collection_load_range
+    cluster = make_cluster(
+        graph,
+        users=(lo + hi) / 2,
+        seed=seed,
+        fault_profile=fault_profile,
+    )
+    space = ActionSpace(graph.min_alloc(), graph.max_alloc())
+    scheduler = OnlineScheduler(predictor, space, spec.qos)
+    scheduler.fast_control = fast
+    predictor.fast_path = fast
+    predictor.encoder.invalidate_cache()
+    trace: list[np.ndarray] = []
+    t0 = time.perf_counter()
+    for _ in range(intervals):
+        cluster.step(cluster.current_alloc)
+        alloc = scheduler.decide(cluster.observed)
+        if alloc is not None:
+            cluster.step(alloc)
+            trace.append(np.asarray(alloc, dtype=float).copy())
+    wall = time.perf_counter() - t0
+    return trace, cluster.telemetry, wall
+
+
+def bench_episode_throughput(
+    predictor: HybridPredictor, spec, graph, config: EpisodeBenchConfig
+) -> dict:
+    """End-to-end episode wall time, full-fast vs full-reference.
+
+    Decisions feed back into the simulator, so the identical-trace
+    check also guards the fast control loop end to end: one diverging
+    decision would diverge every subsequent interval.
+    """
+
+    def best(fast: bool) -> tuple[float, list[np.ndarray]]:
+        walls, trace = [], []
+        for r in range(max(config.repeats, 1)):
+            trace, _, wall = _run_episode(
+                predictor, spec, graph, fast,
+                config.decision_intervals, config.seed + 7,
+            )
+            walls.append(wall)
+        return min(walls), trace
+
+    try:
+        fast_s, trace_fast = best(True)
+        ref_s, trace_ref = best(False)
+    finally:
+        predictor.fast_path = True
+
+    identical = len(trace_fast) == len(trace_ref) and all(
+        np.array_equal(a, b) for a, b in zip(trace_fast, trace_ref)
+    )
+    n = config.decision_intervals
+    return {
+        "intervals": n,
+        "fast_s": round(fast_s, 4),
+        "reference_s": round(ref_s, 4),
+        "fast_ms_per_interval": round(fast_s / n * 1e3, 3),
+        "reference_ms_per_interval": round(ref_s / n * 1e3, 3),
+        "intervals_per_s_fast": round(n / fast_s, 2),
+        "intervals_per_s_reference": round(n / ref_s, 2),
+        "speedup": round(ref_s / fast_s, 2) if fast_s else 0.0,
+        "identical_traces": bool(identical),
+    }
+
+
+def bench_event_run(config: EpisodeBenchConfig) -> dict:
+    """``EventDrivenEngine.run`` vs ``run_reference`` (min over
+    repeats) on the production-sized graph near saturation, where the
+    per-event Python cost of the reference dominates."""
+    from repro.sim.event_engine import EventDrivenEngine, EventEngineConfig
+
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    allocs = np.full(graph.n_tiers, config.event_alloc)
+    rates = np.full(graph.n_types, config.event_rps / graph.n_types)
+
+    def timed(method: str) -> float:
+        best = float("inf")
+        for _ in range(max(config.event_repeats, 1)):
+            engine = EventDrivenEngine(
+                graph, EventEngineConfig(), seed=config.seed + 3
+            )
+            t0 = time.perf_counter()
+            getattr(engine, method)(allocs, rates, config.event_duration)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    fast_s = timed("run")
+    ref_s = timed("run_reference")
+    probe = EventDrivenEngine(graph, EventEngineConfig(), seed=config.seed + 3)
+    summary = probe.run(allocs, rates, config.event_duration)
+    n_req = int(summary["n_requests"])
+    return {
+        "duration_s": config.event_duration,
+        "rps": config.event_rps,
+        "alloc": config.event_alloc,
+        "n_requests": n_req,
+        "fast_ms": round(fast_s * 1e3, 3),
+        "reference_ms": round(ref_s * 1e3, 3),
+        "requests_per_s_fast": round(n_req / fast_s, 1),
+        "requests_per_s_reference": round(n_req / ref_s, 1),
+        "speedup": round(ref_s / fast_s, 2) if fast_s else 0.0,
+    }
+
+
+def bench_decide_overhead(
+    predictor: HybridPredictor, spec, graph, config: EpisodeBenchConfig
+) -> dict:
+    """``scheduler.decide`` wall time vs the sum of its model
+    components at the same candidate count.
+
+    The ratio is the control-loop overhead the fast candidate/select
+    path exists to kill: anything above ~1.0 is pure-Python work around
+    the models (candidate enumeration, selection, bookkeeping).  Decide
+    is timed per-decision inside a live episode (where steady-state
+    decisions score exactly B=64 candidates on ``social_network``:
+    scale-ups/holds only, reclamation gated by the cooldown) and, like
+    every other timing here (:func:`_time_ms`), the minimum wall time
+    is kept; decisions at other candidate counts — e.g. the first one,
+    which also enumerates scale-downs — are reported but excluded from
+    the ratio, which would otherwise compare different batch sizes.
+    """
+    bcfg = _component_config(config)
+    log = make_bench_log(bcfg)
+    components = bench_components(
+        predictor, log, config.component_candidates, bcfg
+    )
+    components_ms = (
+        components["encode"]["fast_ms"]
+        + components["cnn"]["fast_ms"]
+        + components["trees"]["fast_ms"]
+    )
+
+    lo, hi = spec.collection_load_range
+    batch_sizes: list[int] = []
+    original = predictor.predict_candidates
+
+    def spying_predict(log_, cands):
+        batch_sizes.append(len(cands))
+        return original(log_, cands)
+
+    decide_ms = float("inf")
+    counted = 0
+    predictor.fast_path = True
+    predictor.encoder.invalidate_cache()
+    try:
+        predictor.predict_candidates = spying_predict
+        for _ in range(max(config.decide_repeats // 25, 1)):
+            cluster = make_cluster(
+                graph, users=(lo + hi) / 2, seed=config.seed + 7
+            )
+            space = ActionSpace(graph.min_alloc(), graph.max_alloc())
+            scheduler = OnlineScheduler(predictor, space, spec.qos)
+            for _ in range(25):
+                cluster.step(cluster.current_alloc)
+                observed = cluster.observed
+                n_before = len(batch_sizes)
+                t0 = time.perf_counter()
+                alloc = scheduler.decide(observed)
+                elapsed = time.perf_counter() - t0
+                scored = batch_sizes[n_before:]
+                if scored == [config.component_candidates]:
+                    decide_ms = min(decide_ms, elapsed * 1e3)
+                    counted += 1
+                if alloc is not None:
+                    cluster.step(alloc)
+    finally:
+        predictor.__dict__.pop("predict_candidates", None)
+
+    ratio = decide_ms / components_ms if components_ms else 0.0
+    return {
+        "component_candidates": config.component_candidates,
+        "decisions_at_b": counted,
+        "candidate_counts_seen": sorted(set(batch_sizes)),
+        "decide_ms": round(decide_ms, 4),
+        "components_sum_ms": round(components_ms, 4),
+        "overhead_ratio": round(ratio, 3),
+        "components": components,
+    }
+
+
+def bench_episode_equivalence(
+    predictor: HybridPredictor, spec, graph, config: EpisodeBenchConfig
+) -> dict:
+    """Bitwise fast-vs-reference gates for the whole episode stack.
+
+    Control loop: full episodes (normal and fault-injected) with every
+    fast path on vs off must produce identical decision traces *and*
+    identical telemetry on every interval.  Event engine: ``run`` vs
+    ``run_reference`` from the same seed must agree on every summary
+    field and leave the RNG bit-generator in the same state, in a
+    normal and an overloaded (drop-heavy) scenario.
+    """
+    from repro.sim.event_engine import EventDrivenEngine, EventEngineConfig
+
+    results: dict[str, bool] = {}
+    for name, profile in (("normal", None),
+                          (config.fault_profile, config.fault_profile)):
+        try:
+            trace_f, tel_f, _ = _run_episode(
+                predictor, spec, graph, True,
+                config.equivalence_intervals, config.seed + 31, profile,
+            )
+            trace_r, tel_r, _ = _run_episode(
+                predictor, spec, graph, False,
+                config.equivalence_intervals, config.seed + 31, profile,
+            )
+        finally:
+            predictor.fast_path = True
+        ok = len(trace_f) == len(trace_r) and all(
+            np.array_equal(a, b) for a, b in zip(trace_f, trace_r)
+        )
+        ok = ok and len(tel_f) == len(tel_r) and all(
+            _interval_stats_equal(tel_f[i], tel_r[i])
+            for i in range(len(tel_f))
+        )
+        results[f"episode_{name}"] = bool(ok)
+
+    allocs = np.full(graph.n_tiers, config.event_alloc)
+    rates = np.full(graph.n_types, config.event_rps / graph.n_types)
+    scenarios = {
+        "normal": ({}, allocs),
+        "overload": ({"max_queue": 100}, allocs * 0.7),
+    }
+    for name, (overrides, alloc) in scenarios.items():
+        fast_e, ref_e = (
+            EventDrivenEngine(
+                graph, EventEngineConfig(**overrides), seed=config.seed + 13
+            )
+            for _ in range(2)
+        )
+        sf = fast_e.run(alloc, rates, config.event_duration)
+        sr = ref_e.run_reference(alloc, rates, config.event_duration)
+        ok = set(sf) == set(sr) and all(
+            np.array_equal(np.asarray(sf[k]), np.asarray(sr[k]), equal_nan=True)
+            for k in sf
+        )
+        ok = ok and fast_e._rng.bit_generator.state == ref_e._rng.bit_generator.state
+        results[f"event_{name}"] = bool(ok)
+    results["all"] = all(results.values())
+    return results
+
+
+def run_episode_bench(config: EpisodeBenchConfig | None = None) -> dict:
+    """Run the episode benchmark and return (and optionally write)
+    results."""
+    config = config or EpisodeBenchConfig()
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    predictor = make_synthetic_predictor(_component_config(config))
+
+    episode = bench_episode_throughput(predictor, spec, graph, config)
+    event = bench_event_run(config)
+    decision = bench_decide_overhead(predictor, spec, graph, config)
+    equivalence = bench_episode_equivalence(predictor, spec, graph, config)
+    results = {
+        "benchmark": "episode-path",
+        "app": config.app,
+        "n_tiers": graph.n_tiers,
+        "n_trees": config.n_trees,
+        "window": config.n_timesteps,
+        "seed": config.seed,
+        "repeats": config.repeats,
+        "fault_profile": config.fault_profile,
+        "episode": episode,
+        "event_engine": event,
+        "decision": decision,
+        "equivalence": equivalence,
+        "equivalent": bool(
+            equivalence["all"]
+            and episode["identical_traces"]
+            and decision["components"]["bitwise_equal"]
+        ),
+    }
+    if config.output:
+        resolve_output(config.output).write_text(
+            json.dumps(results, indent=2) + "\n"
+        )
+    return results
+
+
+def format_episode_bench(results: dict) -> str:
+    """Human-readable summary of one ``run_episode_bench`` result."""
+    ep = results["episode"]
+    ev = results["event_engine"]
+    dec = results["decision"]
+    eq = results["equivalence"]
+    scenario_bits = ", ".join(
+        f"{name}={'yes' if ok else 'NO'}"
+        for name, ok in eq.items()
+        if name != "all"
+    )
+    return "\n".join([
+        f"episode-path benchmark — {results['app']} "
+        f"({results['n_tiers']} tiers, {results['n_trees']} trees, "
+        f"{ep['intervals']} intervals)",
+        f"episode:  {ep['fast_s']:.2f}s fast vs {ep['reference_s']:.2f}s "
+        f"reference ({ep['speedup']:.1f}x; "
+        f"{ep['intervals_per_s_fast']:.1f} vs "
+        f"{ep['intervals_per_s_reference']:.1f} intervals/s)",
+        f"events:   {ev['fast_ms']:.0f}ms fast vs {ev['reference_ms']:.0f}ms "
+        f"reference ({ev['speedup']:.1f}x; {ev['n_requests']} requests over "
+        f"{ev['duration_s']:.0f}s sim)",
+        f"decide:   {dec['decide_ms']:.2f}ms vs "
+        f"{dec['components_sum_ms']:.2f}ms model components at "
+        f"B={dec['component_candidates']} "
+        f"(overhead ratio {dec['overhead_ratio']:.2f})",
+        "bitwise:  " + ("equal" if results["equivalent"] else "DIVERGED")
+        + f" ({scenario_bits})",
+    ])
+
+
 def run_bench(config: BenchConfig | None = None) -> dict:
     """Run the full benchmark and return (and optionally write) results."""
     config = config or BenchConfig()
@@ -911,4 +1296,11 @@ __all__ = [
     "format_sim_bench",
     "bench_sim_episode",
     "bench_sim_equivalence",
+    "EpisodeBenchConfig",
+    "run_episode_bench",
+    "format_episode_bench",
+    "bench_episode_throughput",
+    "bench_event_run",
+    "bench_decide_overhead",
+    "bench_episode_equivalence",
 ]

@@ -15,12 +15,15 @@ Harness entry points for :class:`~repro.core.retrain.ContinuousSinanManager`:
 The retrain worker's boundary data comes from
 :class:`BoundaryCollector`, a picklable callable that runs a bandit
 exploration sweep against the *drifted* platform (fresh clusters, own
-seeds — it never touches the live episode), optionally fanning episodes
-out over worker processes like every other collection in the repo.
+seeds — it never touches the live episode).  Sweeps fan out over the
+process pool by default (one worker per CPU, or ``REPRO_JOBS``; pass
+``jobs=1`` to force serial) — per-load episodes are independent and
+seeded, so the collected dataset is bit-identical at any worker count.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -64,6 +67,15 @@ class _DriftedClusterFactory:
         return make_cluster(self.graph, users, seed, behaviors=behaviors)
 
 
+def _default_jobs() -> int:
+    """Default worker count for boundary sweeps: ``REPRO_JOBS`` when set
+    (the harness-wide contract: ``0`` = one per CPU), otherwise one per
+    CPU.  Collection is bit-identical at any worker count, so fanning
+    out by default only changes wall-clock time."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    return int(raw) if raw else 0
+
+
 @dataclass(frozen=True)
 class BoundaryCollector:
     """``collect(seed) -> SinanDataset`` for the retrain worker.
@@ -80,6 +92,10 @@ class BoundaryCollector:
     loads: tuple[float, ...] = (60.0, 120.0, 240.0)
     seconds_per_load: int = 60
     jobs: int | None = None
+    """Worker processes for the per-load fan-out.  ``None`` resolves
+    through :func:`_default_jobs` (``REPRO_JOBS``, else one per CPU);
+    ``1`` forces the inline serial path.  Either way the dataset is
+    bit-identical — per-load episodes are independent and seeded."""
     cluster_factory: object = None
     """Optional picklable ``(users, seed) -> cluster`` override for
     applications outside the harness registry (it should already apply
@@ -96,7 +112,7 @@ class BoundaryCollector:
             seconds_per_load=self.seconds_per_load,
             seed=seed,
             policy_factory=BanditPolicyFactory(config),
-            jobs=self.jobs,
+            jobs=self.jobs if self.jobs is not None else _default_jobs(),
         )
         return result.dataset
 

@@ -544,3 +544,80 @@ class TestShadowEquivalence:
             base_cluster.engine._rng.bit_generator.state
             == cont_cluster.engine._rng.bit_generator.state
         )
+
+
+class TestPooledBoundaryCollection:
+    """Boundary sweeps fan out over the process pool by default and stay
+    bit-identical to serial, and the shadow loop stays non-intrusive
+    when collection runs on worker processes."""
+
+    COLLECT_KWARGS = dict(
+        loads=(60.0, 150.0),
+        seconds_per_load=20,
+        cluster_factory=make_fault_cluster,
+    )
+
+    def _collector(self, jobs):
+        from repro.harness.continuous import BoundaryCollector
+
+        return BoundaryCollector(
+            make_tiny_graph(), QOS, jobs=jobs, **self.COLLECT_KWARGS
+        )
+
+    def test_pooled_collection_bit_identical_to_serial(self):
+        serial = self._collector(jobs=1)(5)
+        pooled = self._collector(jobs=2)(5)
+        for attr in ("X_RH", "X_LH", "X_RC", "y_lat", "y_viol"):
+            np.testing.assert_array_equal(
+                getattr(serial, attr), getattr(pooled, attr)
+            )
+
+    def test_default_jobs_resolution(self, monkeypatch):
+        from repro.harness import continuous
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert continuous._default_jobs() == 3
+        monkeypatch.delenv("REPRO_JOBS")
+        assert continuous._default_jobs() == 0  # one worker per CPU
+
+    def test_shadow_non_intrusive_with_pooled_collection(self, trained):  # noqa: F811
+        """Same bitwise gate as :class:`TestShadowEquivalence`, but the
+        retrain worker's dataset really is collected on a 2-process
+        pool while the live episode runs."""
+        duration, users, seed = 70, 150, 11
+        plain = SinanManager(trained, QOS, make_tiny_graph())
+        base_allocs, base_cluster = run_traced_episode(
+            plain, make_fault_cluster(users, seed), duration
+        )
+
+        manager = ContinuousSinanManager(
+            trained,
+            QOS,
+            collect=self._collector(jobs=2),
+            graph=make_tiny_graph(),
+            drift_config=DriftConfig(
+                window=10, min_decisions=5, calibration_frac=0.0,
+                min_calibration_samples=3, cooldown=15,
+            ),
+            retrain_config=RetrainConfig(
+                delivery_intervals=5, shadow_intervals=10, epochs=1
+            ),
+            promote=False,
+        )
+        cont_allocs, cont_cluster = run_traced_episode(
+            manager, make_fault_cluster(users, seed), duration
+        )
+
+        # The pooled collection actually ran and produced a challenger.
+        assert manager.retrains >= 1
+        assert manager.worker.error is None
+
+        for a, b in zip(base_allocs, cont_allocs):
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert np.array_equal(a, b)
+        assert (
+            base_cluster.engine._rng.bit_generator.state
+            == cont_cluster.engine._rng.bit_generator.state
+        )
