@@ -16,8 +16,10 @@ Commands mirror the paper's workflow:
 * ``explain``    — LIME-style tier/resource attribution for a model,
 * ``bench``      — fast-vs-reference micro-benchmarks: the per-decision
   scoring path (``BENCH_decision.json``), with ``--training`` the
-  model training path (``BENCH_training.json``), or with ``--sim`` the
-  batched-tick simulation core (``BENCH_sim.json``),
+  model training path (``BENCH_training.json``), with ``--sim`` the
+  batched-tick simulation core (``BENCH_sim.json``), or with
+  ``--sweep`` the fan-out layer — warm worker pool + one-time model
+  broadcast vs cold per-task pickling (``BENCH_sweep.json``),
 * ``audit``      — inspect a decision audit log written by
   ``run --audit-out`` (table overview, or ``--interval`` for one
   decision's full explanation).
@@ -56,7 +58,9 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="fan episodes out over N worker processes "
-             "(0 = one per CPU; default: serial)",
+             "(0 = one per CPU; default: $REPRO_JOBS, else serial). "
+             "Fanned-out calls share a warm worker pool that broadcasts "
+             "the model once (REPRO_WARM_POOL=0 restores cold pools)",
     )
 
 
@@ -218,6 +222,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--training", action="store_true",
                        help="benchmark model training (histogram trees, "
                             "im2col CNN) instead of the decision path")
+    bench.add_argument("--sweep", action="store_true",
+                       help="benchmark the fan-out layer (warm worker "
+                            "pool + model broadcast vs cold per-task "
+                            "pickling, BENCH_sweep.json)")
+    bench.add_argument("--episodes", type=int, default=None,
+                       help="[--sweep] episodes in the timed collection "
+                            "sweep (default 32; budget small: 12)")
+    bench.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="[--sweep] pool workers for the timed sweeps "
+                            "(default 0 = one per CPU)")
     bench.add_argument("--episode", action="store_true",
                        help="benchmark the end-to-end episode loop "
                             "(Sinan-attached fluid episodes + event-engine "
@@ -578,6 +592,8 @@ def cmd_bench(args) -> int:
         return _cmd_bench_sim(args, small)
     if args.episode:
         return _cmd_bench_episode(args, small)
+    if args.sweep:
+        return _cmd_bench_sweep(args, small)
 
     counts = tuple(int(c) for c in args.candidates.split(",") if c.strip())
     repeats = args.repeats if args.repeats is not None else 30
@@ -677,6 +693,46 @@ def _cmd_bench_episode(args, small: bool) -> int:
         output=output,
     ))
     print(format_episode_bench(results))
+    if output:
+        from repro.harness.bench import resolve_output
+
+        print(f"wrote {resolve_output(output)}")
+    return 0 if results["equivalent"] else 1
+
+
+def _cmd_bench_sweep(args, small: bool) -> int:
+    from repro.harness.bench import (
+        SweepBenchConfig,
+        format_sweep_bench,
+        run_sweep_bench,
+    )
+
+    episodes = args.episodes if args.episodes is not None else 32
+    jobs = args.jobs if args.jobs is not None else 0
+    seconds = 12
+    trees = args.trees if args.trees is not None else 300
+    equivalence_episodes = 3
+    if small:
+        # CI smoke: fewer/shorter timed episodes.  The payload
+        # measurement and bitwise equivalence gates are full-strength —
+        # they are cheap and they are the actual contract.
+        episodes = min(episodes, 12)
+        seconds = 8
+        trees = min(trees, 150)
+        equivalence_episodes = 2
+    output = args.output if args.output is not None else "BENCH_sweep.json"
+    results = run_sweep_bench(SweepBenchConfig(
+        app=args.app,
+        episodes=episodes,
+        seconds=seconds,
+        jobs=jobs,
+        seed=args.seed,
+        n_trees=trees,
+        n_timesteps=args.window,
+        equivalence_episodes=equivalence_episodes,
+        output=output,
+    ))
+    print(format_sweep_bench(results))
     if output:
         from repro.harness.bench import resolve_output
 

@@ -383,7 +383,10 @@ class DataCollector:
             raise ValueError("pass exactly one of policy= and policy_factory=")
 
         if policy is not None:
-            if resolve_jobs(jobs) > 1:
+            # Only an *explicit* jobs request conflicts with a shared
+            # policy; an ambient REPRO_JOBS (resolved when jobs=None)
+            # must not break the legacy serial protocol.
+            if jobs is not None and resolve_jobs(jobs) > 1:
                 raise ValueError(
                     "a shared policy instance cannot be fanned out across "
                     "worker processes; pass policy_factory= instead"

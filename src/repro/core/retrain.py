@@ -314,6 +314,12 @@ class RetrainWorker:
     the current platform); it must not touch the live episode's RNG or
     cluster.  The incumbent passed to :meth:`submit` is deep-copied, so
     retraining never mutates the serving model.
+
+    When ``collect`` fans out over processes (``BoundaryCollector`` with
+    ``jobs > 1``), successive retrain cycles reuse the process-wide warm
+    worker pool (:mod:`repro.harness.pool`) instead of cold-starting one
+    per cycle; a promoted challenger re-broadcasts under a new content
+    fingerprint, so stale worker-side model caches cannot serve it.
     """
 
     def __init__(self, collect, config: RetrainConfig | None = None) -> None:

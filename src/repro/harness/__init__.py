@@ -9,6 +9,12 @@ from repro.harness.parallel import (
     resolve_jobs,
     run_episodes,
 )
+from repro.harness.pool import (
+    ModelRef,
+    WorkerPool,
+    close_shared_pool,
+    shared_pool,
+)
 from repro.harness.pipeline import (
     AppSpec,
     Budget,
@@ -38,6 +44,10 @@ __all__ = [
     "RunSummary",
     "resolve_jobs",
     "run_episodes",
+    "ModelRef",
+    "WorkerPool",
+    "close_shared_pool",
+    "shared_pool",
     "AppSpec",
     "Budget",
     "BUDGETS",

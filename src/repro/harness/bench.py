@@ -1214,6 +1214,360 @@ def format_episode_bench(results: dict) -> str:
     ])
 
 
+# ---------------------------------------------------------------------
+# Fan-out sweep benchmark: warm worker pool vs cold per-task-pickle path
+
+
+@dataclass(frozen=True)
+class SweepBenchConfig:
+    """Knobs of one ``repro bench --sweep`` invocation.
+
+    Times a multi-episode on-policy collection sweep three ways — the
+    pre-pool baseline (fresh cold pool, full predictor pickled into
+    every task), the warm shared pool with one-time shared-memory model
+    broadcast, and the serial inline path — then measures per-task
+    payload bytes, warm-pool reuse across successive calls, and the
+    bit-identity contract (pooled == serial == cold, in normal and
+    fault-injected episodes).
+    """
+
+    app: str = "social_network"
+    episodes: int = 32
+    """Episodes in the timed collection sweep (the paper's point: sweep
+    wall-clock, not any single episode, dominates collection cost)."""
+    seconds: int = 12
+    """Decision intervals per episode."""
+    jobs: int = 0
+    """Pool workers for the timed sweeps (``0`` = one per CPU)."""
+    seed: int = 0
+    n_trees: int = 300
+    tree_depth: int = 6
+    n_timesteps: int = 5
+    equivalence_episodes: int = 3
+    equivalence_seconds: int = 8
+    fault_profile: str = "chaos"
+    output: str = "BENCH_sweep.json"
+
+
+_SWEEP_DATASET_FIELDS = ("X_RH", "X_LH", "X_RC", "y_lat", "y_viol")
+
+
+def _sweep_component_config(config: SweepBenchConfig) -> BenchConfig:
+    return BenchConfig(
+        app=config.app,
+        n_timesteps=config.n_timesteps,
+        seed=config.seed,
+        n_trees=config.n_trees,
+        tree_depth=config.tree_depth,
+        output="",
+    )
+
+
+def _sweep_bench_tasks(
+    predictor: HybridPredictor, spec, graph,
+    n_episodes: int, seconds: int, seed: int,
+):
+    """On-policy collection tasks across the app's load range — the
+    exact task shape ``pipeline._collect_on_policy`` fans out."""
+    from repro.harness.parallel import EpisodeTask
+    from repro.harness.pipeline import _on_policy_episode
+
+    low, high = spec.collection_load_range
+    loads = np.linspace(low, high, n_episodes)
+    return [
+        EpisodeTask(
+            index=i,
+            label=f"bench-sweep[users={users:g}]",
+            fn=_on_policy_episode,
+            kwargs=dict(
+                predictor=predictor,
+                graph=graph,
+                qos=spec.qos,
+                users=float(users),
+                seconds=seconds,
+                seed=seed + i,
+            ),
+        )
+        for i, users in enumerate(loads)
+    ]
+
+
+def _sweep_datasets_equal(a, b) -> bool:
+    return all(
+        np.array_equal(
+            getattr(a, name), getattr(b, name), equal_nan=True
+        )
+        for name in _SWEEP_DATASET_FIELDS
+    )
+
+
+def _sweep_results_equal(results_a, results_b) -> bool:
+    return len(results_a) == len(results_b) and all(
+        _sweep_datasets_equal(a, b) for a, b in zip(results_a, results_b)
+    )
+
+
+def bench_sweep_throughput(
+    predictor: HybridPredictor, spec, graph, config: SweepBenchConfig
+) -> dict:
+    """Wall-clock of the full collection sweep: cold baseline vs warm pool.
+
+    The baseline is the exact pre-pool fan-out: a fresh pool per call
+    whose spin-up is part of the measured wall time, with the full
+    predictor pickled into every task.  The warm variant is measured as
+    a *subsequent* call on an already-live pool (spin-up and the
+    one-time broadcast are timed separately as ``warm_spinup_s``) —
+    that's the steady state every later sweep in a run sees.
+    """
+    from repro.harness.parallel import resolve_jobs, run_episodes
+    from repro.harness.pool import WorkerPool
+
+    n_workers = resolve_jobs(config.jobs)
+    tasks = _sweep_bench_tasks(
+        predictor, spec, graph, config.episodes, config.seconds, config.seed
+    )
+
+    t0 = time.perf_counter()
+    with WorkerPool(jobs=n_workers, broadcast=False) as cold:
+        baseline = run_episodes(tasks, jobs=n_workers, pool=cold)
+    baseline_s = time.perf_counter() - t0
+    baseline.raise_if_no_results()
+
+    with WorkerPool(jobs=n_workers) as warm:
+        t0 = time.perf_counter()
+        run_episodes(tasks[:n_workers], jobs=n_workers, pool=warm)
+        warm_spinup_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pooled = run_episodes(tasks, jobs=n_workers, pool=warm)
+        warm_s = time.perf_counter() - t0
+    pooled.raise_if_no_results()
+
+    return {
+        "episodes": config.episodes,
+        "seconds_per_episode": config.seconds,
+        "workers": n_workers,
+        "baseline_cold_s": round(baseline_s, 3),
+        "warm_s": round(warm_s, 3),
+        "warm_spinup_s": round(warm_spinup_s, 3),
+        "speedup": round(baseline_s / warm_s, 2) if warm_s else 0.0,
+        "pool_reused": bool(pooled.pool_reused),
+        "broadcast_publishes": pooled.broadcast_publishes,
+        "model_cache_hits": pooled.model_cache_hits,
+        "identical_results": _sweep_results_equal(
+            baseline.results, pooled.results
+        ),
+    }
+
+
+def bench_sweep_payload(
+    predictor: HybridPredictor, spec, graph, config: SweepBenchConfig
+) -> dict:
+    """Per-task payload bytes: full-predictor pickle vs ``ModelRef``."""
+    import pickle
+
+    from repro.harness.pool import WorkerPool
+
+    task = _sweep_bench_tasks(
+        predictor, spec, graph, 1, config.seconds, config.seed
+    )[0]
+    cold_bytes = len(pickle.dumps(task.kwargs, pickle.HIGHEST_PROTOCOL))
+    with WorkerPool(jobs=1) as pool:
+        ref, published = pool.broadcast(predictor)
+        warm_bytes = len(pickle.dumps(
+            {**task.kwargs, "predictor": ref}, pickle.HIGHEST_PROTOCOL
+        ))
+    return {
+        "cold_task_bytes": cold_bytes,
+        "warm_task_bytes": warm_bytes,
+        "broadcast_bytes_once": published,
+        "reduction": round(cold_bytes / warm_bytes, 1) if warm_bytes else 0.0,
+    }
+
+
+def bench_sweep_reuse(
+    predictor: HybridPredictor, spec, graph, config: SweepBenchConfig
+) -> dict:
+    """Two successive sweeps: warm pool reuse vs two cold pools.
+
+    The second warm call must report ``pool_reused`` with zero new
+    broadcast publishes, and both protocols must agree bit-for-bit —
+    the warm pool is a pure wall-clock optimization.
+    """
+    from repro.harness.parallel import run_episodes
+    from repro.harness.pool import WorkerPool
+
+    n = max(2, config.equivalence_episodes)
+    first = _sweep_bench_tasks(
+        predictor, spec, graph, n, config.equivalence_seconds, config.seed
+    )
+    second = _sweep_bench_tasks(
+        predictor, spec, graph, n, config.equivalence_seconds,
+        config.seed + 1000,
+    )
+
+    cold_results = []
+    t0 = time.perf_counter()
+    for tasks in (first, second):
+        with WorkerPool(jobs=2, broadcast=False) as cold:
+            summary = run_episodes(tasks, jobs=2, pool=cold)
+            cold_results.append(summary.results)
+    cold_s = time.perf_counter() - t0
+
+    warm_results = []
+    t0 = time.perf_counter()
+    with WorkerPool(jobs=2) as warm:
+        first_summary = run_episodes(first, jobs=2, pool=warm)
+        second_summary = run_episodes(second, jobs=2, pool=warm)
+        warm_results = [first_summary.results, second_summary.results]
+    warm_s = time.perf_counter() - t0
+
+    return {
+        "episodes_per_sweep": n,
+        "two_cold_pools_s": round(cold_s, 3),
+        "one_warm_pool_s": round(warm_s, 3),
+        "second_call_reused": bool(second_summary.pool_reused),
+        "second_call_publishes": second_summary.broadcast_publishes,
+        "identical_results": all(
+            _sweep_results_equal(c, w)
+            for c, w in zip(cold_results, warm_results)
+        ),
+    }
+
+
+def bench_sweep_equivalence(
+    predictor: HybridPredictor, spec, graph, config: SweepBenchConfig
+) -> dict:
+    """Bit-identity gates: pooled == serial == cold per-task path.
+
+    Collection episodes (normal) and resilience cells (under the fault
+    profile, sinan + a model-free manager) must produce byte-identical
+    results no matter which execution substrate ran them.
+    """
+    from dataclasses import asdict
+
+    from repro.harness.parallel import EpisodeTask, run_episodes
+    from repro.harness.pool import WorkerPool
+    from repro.harness.resilience import _resilience_episode
+
+    results: dict[str, bool] = {}
+
+    tasks = _sweep_bench_tasks(
+        predictor, spec, graph, config.equivalence_episodes,
+        config.equivalence_seconds, config.seed + 17,
+    )
+    serial = run_episodes(tasks, jobs=1)
+    with WorkerPool(jobs=2) as warm:
+        pooled = run_episodes(tasks, jobs=2, pool=warm)
+    with WorkerPool(jobs=2, broadcast=False) as cold:
+        cold_run = run_episodes(tasks, jobs=2, pool=cold)
+    results["collection_serial_vs_warm"] = _sweep_results_equal(
+        serial.results, pooled.results
+    )
+    results["collection_serial_vs_cold"] = _sweep_results_equal(
+        serial.results, cold_run.results
+    )
+
+    users = float(np.mean(spec.collection_load_range))
+    fault_tasks = [
+        EpisodeTask(
+            index=i,
+            label=f"bench-fault[{manager}]",
+            fn=_resilience_episode,
+            kwargs=dict(
+                app=config.app,
+                manager_name=manager,
+                profile_name=config.fault_profile,
+                users=users,
+                duration=config.equivalence_seconds,
+                seed=config.seed + 29,
+                warmup=2,
+                predictor=predictor if manager == "sinan" else None,
+            ),
+        )
+        for i, manager in enumerate(("sinan", "static"))
+    ]
+    fault_serial = run_episodes(fault_tasks, jobs=1)
+    with WorkerPool(jobs=2) as warm:
+        fault_pooled = run_episodes(fault_tasks, jobs=2, pool=warm)
+    results[f"fault_{config.fault_profile}_serial_vs_warm"] = (
+        len(fault_serial.results) == len(fault_pooled.results)
+        and all(
+            asdict(a) == asdict(b)
+            for a, b in zip(fault_serial.results, fault_pooled.results)
+        )
+    )
+    results["all"] = all(results.values())
+    return results
+
+
+def run_sweep_bench(config: SweepBenchConfig | None = None) -> dict:
+    """Run the fan-out sweep benchmark and return (and optionally
+    write) results."""
+    config = config or SweepBenchConfig()
+    spec = app_spec(config.app)
+    graph = spec.graph_factory()
+    predictor = make_synthetic_predictor(_sweep_component_config(config))
+
+    throughput = bench_sweep_throughput(predictor, spec, graph, config)
+    payload = bench_sweep_payload(predictor, spec, graph, config)
+    reuse = bench_sweep_reuse(predictor, spec, graph, config)
+    equivalence = bench_sweep_equivalence(predictor, spec, graph, config)
+    results = {
+        "benchmark": "fanout-sweep",
+        "app": config.app,
+        "n_tiers": graph.n_tiers,
+        "n_trees": config.n_trees,
+        "seed": config.seed,
+        "fault_profile": config.fault_profile,
+        "throughput": throughput,
+        "payload": payload,
+        "reuse": reuse,
+        "equivalence": equivalence,
+        "equivalent": bool(
+            equivalence["all"]
+            and throughput["identical_results"]
+            and reuse["identical_results"]
+        ),
+    }
+    if config.output:
+        resolve_output(config.output).write_text(
+            json.dumps(results, indent=2) + "\n"
+        )
+    return results
+
+
+def format_sweep_bench(results: dict) -> str:
+    """Human-readable summary of one ``run_sweep_bench`` result."""
+    th = results["throughput"]
+    pl = results["payload"]
+    ru = results["reuse"]
+    eq = results["equivalence"]
+    gate_bits = ", ".join(
+        f"{name}={'yes' if ok else 'NO'}"
+        for name, ok in eq.items()
+        if name != "all"
+    )
+    return "\n".join([
+        f"fan-out sweep benchmark — {results['app']} "
+        f"({th['episodes']} episodes x {th['seconds_per_episode']} "
+        f"intervals, {th['workers']} workers, {results['n_trees']} trees)",
+        f"sweep:    {th['warm_s']:.2f}s warm pool vs "
+        f"{th['baseline_cold_s']:.2f}s cold per-task baseline "
+        f"({th['speedup']:.1f}x; spin-up+broadcast {th['warm_spinup_s']:.2f}s "
+        f"paid once)",
+        f"payload:  {pl['warm_task_bytes']:,}B/task vs "
+        f"{pl['cold_task_bytes']:,}B/task "
+        f"({pl['reduction']:.0f}x smaller; "
+        f"{pl['broadcast_bytes_once']:,}B broadcast once)",
+        f"reuse:    {ru['one_warm_pool_s']:.2f}s one warm pool vs "
+        f"{ru['two_cold_pools_s']:.2f}s two cold pools over two sweeps "
+        f"(second call reused={'yes' if ru['second_call_reused'] else 'NO'}, "
+        f"publishes={ru['second_call_publishes']})",
+        "bitwise:  " + ("equal" if results["equivalent"] else "DIVERGED")
+        + f" ({gate_bits})",
+    ])
+
+
 def run_bench(config: BenchConfig | None = None) -> dict:
     """Run the full benchmark and return (and optionally write) results."""
     config = config or BenchConfig()
@@ -1299,6 +1653,13 @@ __all__ = [
     "EpisodeBenchConfig",
     "run_episode_bench",
     "format_episode_bench",
+    "SweepBenchConfig",
+    "run_sweep_bench",
+    "format_sweep_bench",
+    "bench_sweep_throughput",
+    "bench_sweep_payload",
+    "bench_sweep_reuse",
+    "bench_sweep_equivalence",
     "bench_episode_throughput",
     "bench_event_run",
     "bench_decide_overhead",

@@ -69,8 +69,11 @@ class _DriftedClusterFactory:
 
 def _default_jobs() -> int:
     """Default worker count for boundary sweeps: ``REPRO_JOBS`` when set
-    (the harness-wide contract: ``0`` = one per CPU), otherwise one per
-    CPU.  Collection is bit-identical at any worker count, so fanning
+    (the harness-wide contract, now also honored by ``resolve_jobs`` for
+    every ``jobs=None`` call site), otherwise one per CPU.  This helper
+    differs from the harness-wide default only when the env var is
+    unset: boundary collection fans out per CPU rather than running
+    serial, because it is bit-identical at any worker count — fanning
     out by default only changes wall-clock time."""
     raw = os.environ.get("REPRO_JOBS", "").strip()
     return int(raw) if raw else 0

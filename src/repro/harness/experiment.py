@@ -127,8 +127,10 @@ def sweep_loads(
     independent experiment measuring mean/max CPU allocation and the
     probability of meeting QoS.  With ``jobs`` set, episodes fan out
     over worker processes (both factories must then be picklable —
-    module-level callables, not lambdas); results always come back in
-    load order and are identical to the serial run.
+    module-level callables, not lambdas) on the process-wide warm pool
+    (:mod:`repro.harness.pool`), so back-to-back sweeps skip the pool
+    spin-up; results always come back in load order and are identical
+    to the serial run.
     """
     tasks = [
         EpisodeTask(

@@ -8,7 +8,9 @@ This module provides the one fan-out primitive the rest of the harness
 shares:
 
 * :func:`run_episodes` executes a list of :class:`EpisodeTask` either
-  inline (``jobs=1``, the default) or on a ``ProcessPoolExecutor``.
+  inline (``jobs=1``, the default) or on a persistent warm worker pool
+  (see :mod:`repro.harness.pool`) that is shared across calls within a
+  run and broadcasts heavy model payloads once instead of per task.
   Both paths run the *same* per-episode worker function with the same
   per-episode seeds, so results are bit-identical regardless of worker
   count; outcomes are always returned in task order.
@@ -32,7 +34,6 @@ import logging
 import multiprocessing as mp
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -47,11 +48,22 @@ RETRY_SEED_BUMP = 1_000_003
 def resolve_jobs(jobs: int | None) -> int:
     """Resolve a ``--jobs`` value to a concrete worker count.
 
-    ``None`` means serial (1 worker, run inline), ``0`` means one worker
-    per available CPU, any positive value is taken literally.
+    ``None`` consults the ``REPRO_JOBS`` environment variable (the
+    harness-wide contract, shared by every ``jobs=None`` call site) and
+    falls back to serial (1 worker, run inline) when it is unset or
+    empty; ``0`` — literal or via the env var — means one worker per
+    available CPU, any positive value is taken literally.
     """
     if jobs is None:
-        return 1
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
@@ -85,6 +97,18 @@ class EpisodeOutcome:
     attempts: int = 1
     seconds: float = 0.0
 
+    warnings: list[str] = field(default_factory=list)
+    """Worker-side retry/recovery messages.  Under ``spawn`` a worker's
+    own log records never reach the parent, so the dispatcher re-logs
+    these when the outcome arrives (see :func:`run_episodes`)."""
+
+    model_cache_hits: int = 0
+    """Broadcast payloads this episode resolved from its worker's
+    deserialized-model cache (see :mod:`repro.harness.pool`)."""
+
+    model_cache_misses: int = 0
+    """Broadcast payloads the worker had to attach + deserialize."""
+
     @property
     def ok(self) -> bool:
         """Whether the episode produced a result."""
@@ -98,6 +122,20 @@ class RunSummary:
     outcomes: list[EpisodeOutcome] = field(default_factory=list)
     jobs: int = 1
     wall_seconds: float = 0.0
+
+    pool_reused: bool = False
+    """Whether a warm worker pool from an earlier call served this run."""
+
+    broadcast_bytes: int = 0
+    """Bytes newly published to shared memory for this run (0 when every
+    model was already broadcast by an earlier call, or none was used)."""
+
+    broadcast_publishes: int = 0
+    model_cache_hits: int = 0
+    model_cache_misses: int = 0
+    recovered_inline: int = 0
+    """Tasks whose pool-level dispatch failed (worker crash, unpicklable
+    payload/result) and that were re-run inline in the parent."""
 
     @property
     def failures(self) -> list[EpisodeOutcome]:
@@ -139,6 +177,7 @@ def _run_task(task: EpisodeTask, retries: int = 1) -> EpisodeOutcome:
     """
     kwargs = dict(task.kwargs)
     start = time.perf_counter()
+    warnings: list[str] = []
     for attempt in range(1, retries + 2):
         try:
             result = task.fn(**kwargs)
@@ -148,6 +187,7 @@ def _run_task(task: EpisodeTask, retries: int = 1) -> EpisodeOutcome:
                 result=result,
                 attempts=attempt,
                 seconds=time.perf_counter() - start,
+                warnings=warnings,
             )
         except Exception as exc:  # noqa: BLE001 - surfaced in the summary
             error = f"{type(exc).__name__}: {exc}"
@@ -158,13 +198,21 @@ def _run_task(task: EpisodeTask, retries: int = 1) -> EpisodeOutcome:
                     error=error,
                     attempts=attempt,
                     seconds=time.perf_counter() - start,
+                    warnings=warnings,
                 )
             if task.seed_key in kwargs:
                 kwargs[task.seed_key] = kwargs[task.seed_key] + RETRY_SEED_BUMP
-            logger.warning(
-                "episode %s failed (%s); retrying with bumped seed", task.label, error
-            )
+            # Recorded on the outcome (not logged here): under ``spawn``
+            # a worker-side log line dies with the worker, so the parent
+            # re-emits these when the outcome comes back.
+            warnings.append(f"failed ({error}); retrying with bumped seed")
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _emit_warnings(outcome: EpisodeOutcome) -> None:
+    """Re-log worker-side retry/recovery messages in the parent."""
+    for message in outcome.warnings:
+        logger.warning("episode %s: %s", outcome.label, message)
 
 
 def _log_progress(outcome: EpisodeOutcome, done: int, total: int) -> None:
@@ -203,14 +251,23 @@ def _record_outcome(recorder, outcome: EpisodeOutcome) -> None:
     )
 
 
+def _warm_pool_default() -> bool:
+    """Warm-pool escape hatch: ``REPRO_WARM_POOL=0`` restores the
+    legacy cold-pool-per-call, payload-per-task behavior."""
+    raw = os.environ.get("REPRO_WARM_POOL", "").strip().lower()
+    return raw not in ("0", "false", "off")
+
+
 def run_episodes(
     tasks: list[EpisodeTask],
     jobs: int | None = None,
     retries: int = 1,
     progress: Callable[[EpisodeOutcome, int, int], None] | None = None,
     recorder=None,
+    pool=None,
+    warm_pool: bool | None = None,
 ) -> RunSummary:
-    """Run independent episode tasks, serially or on a process pool.
+    """Run independent episode tasks, serially or on a worker pool.
 
     Parameters
     ----------
@@ -218,9 +275,10 @@ def run_episodes(
         Episodes to run.  Results come back in ``task.index`` order no
         matter the completion order.
     jobs:
-        Worker processes (see :func:`resolve_jobs`).  ``jobs=1`` runs
-        everything inline in this process — same code path as the
-        workers, so results match bit-for-bit.
+        Worker processes (see :func:`resolve_jobs`; ``None`` honors
+        ``REPRO_JOBS``).  ``jobs=1`` runs everything inline in this
+        process — same code path as the workers, so results match
+        bit-for-bit.
     retries:
         How many times a failing episode is re-attempted (with its seed
         bumped by :data:`RETRY_SEED_BUMP`).
@@ -229,9 +287,21 @@ def run_episodes(
         finishes; defaults to an INFO log line per episode.
     recorder:
         Optional :class:`repro.obs.Recorder`; when enabled, episode
-        counts, failures, retries, and durations land in its metrics
-        registry.  Recording happens in this (parent) process only, so
-        it works identically for serial and pooled runs.
+        counts, failures, retries, durations, and the pool's
+        reuse/broadcast counters land in its metrics registry.
+        Recording happens in this (parent) process only, so it works
+        identically for serial and pooled runs.
+    pool:
+        Explicit :class:`repro.harness.pool.WorkerPool` to run on.
+        Forces pooled execution even when ``jobs`` resolves to 1 (used
+        by the sweep benchmark to compare pool configurations); the
+        caller keeps ownership — the pool is not closed here.
+    warm_pool:
+        ``True`` (default, or ``REPRO_WARM_POOL`` unset) reuses the
+        process-wide shared warm pool across calls and broadcasts model
+        payloads once via shared memory; ``False`` spins up a transient
+        cold pool with per-task payloads (the pre-warm-pool behavior).
+        Either way results are bit-identical — only wall-clock changes.
     """
     n_jobs = resolve_jobs(jobs)
     n_jobs = max(1, min(n_jobs, len(tasks)))
@@ -240,44 +310,49 @@ def run_episodes(
     if record:
         recorder.gauge("harness_jobs", float(n_jobs))
     start = time.perf_counter()
-    outcomes: list[EpisodeOutcome] = []
+    stats = None
 
-    if n_jobs == 1:
+    if n_jobs == 1 and pool is None:
+        outcomes: list[EpisodeOutcome] = []
         for done, task in enumerate(tasks, start=1):
             outcome = _run_task(task, retries=retries)
+            _emit_warnings(outcome)
             outcomes.append(outcome)
             if record:
                 _record_outcome(recorder, outcome)
             progress(outcome, done, len(tasks))
     else:
-        with ProcessPoolExecutor(
-            max_workers=n_jobs, mp_context=_mp_context()
-        ) as pool:
-            futures = {
-                pool.submit(_run_task, task, retries): task for task in tasks
-            }
-            done = 0
-            for future in as_completed(futures):
-                task = futures[future]
-                try:
-                    outcome = future.result()
-                except Exception as exc:  # pool/pickling failure
-                    outcome = EpisodeOutcome(
-                        index=task.index,
-                        label=task.label,
-                        error=f"{type(exc).__name__}: {exc}",
-                        attempts=1,
-                    )
-                outcomes.append(outcome)
-                done += 1
-                if record:
-                    _record_outcome(recorder, outcome)
-                progress(outcome, done, len(tasks))
-        outcomes.sort(key=lambda o: o.index)
+        from repro.harness import pool as pool_mod
+
+        if warm_pool is None:
+            warm_pool = _warm_pool_default()
+        if pool is not None:
+            outcomes, stats = pool.run(
+                tasks, n_jobs=n_jobs, retries=retries, progress=progress,
+                recorder=recorder,
+            )
+        elif warm_pool:
+            outcomes, stats = pool_mod.shared_pool(n_jobs).run(
+                tasks, n_jobs=n_jobs, retries=retries, progress=progress,
+                recorder=recorder,
+            )
+        else:
+            with pool_mod.WorkerPool(jobs=n_jobs, broadcast=False) as cold:
+                outcomes, stats = cold.run(
+                    tasks, n_jobs=n_jobs, retries=retries, progress=progress,
+                    recorder=recorder,
+                )
 
     summary = RunSummary(
         outcomes=outcomes, jobs=n_jobs, wall_seconds=time.perf_counter() - start
     )
+    if stats is not None:
+        summary.pool_reused = stats.reused
+        summary.broadcast_bytes = stats.broadcast_bytes
+        summary.broadcast_publishes = stats.broadcast_publishes
+        summary.model_cache_hits = stats.cache_hits
+        summary.model_cache_misses = stats.cache_misses
+        summary.recovered_inline = stats.recovered_inline
     logger.info("%s", summary.format())
     return summary
 

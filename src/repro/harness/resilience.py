@@ -15,7 +15,10 @@ a fault-injected episode and measures, against ground-truth telemetry:
 :func:`sweep_resilience` fans the (profile x manager) grid out over the
 parallel episode harness and :func:`format_resilience_report` renders
 the resulting table.  Results are bit-identical for a fixed seed
-regardless of ``jobs``.
+regardless of ``jobs``.  Fanned-out grids run on the process-wide warm
+pool (:mod:`repro.harness.pool`): the sinan cells' predictor is
+broadcast once via shared memory instead of being pickled into every
+(profile x manager) task, and repeated sweeps reuse live workers.
 """
 
 from __future__ import annotations

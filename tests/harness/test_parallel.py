@@ -40,7 +40,8 @@ def _tasks(fn, n=6):
 
 
 class TestResolveJobs:
-    def test_none_is_serial(self):
+    def test_none_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert resolve_jobs(None) == 1
 
     def test_zero_is_cpu_count(self):
@@ -52,6 +53,27 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
             resolve_jobs(-1)
+
+    def test_none_consults_repro_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+
+    def test_repro_jobs_zero_means_per_cpu(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_repro_jobs_empty_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "  ")
+        assert resolve_jobs(None) == 1
+
+    def test_repro_jobs_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+    def test_explicit_jobs_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(2) == 2
 
 
 class TestRunEpisodes:
@@ -110,3 +132,29 @@ class TestRunEpisodes:
 
     def test_empty_summary(self):
         RunSummary().raise_if_no_results()  # no episodes: nothing to raise
+
+    def test_repro_jobs_env_fans_out_by_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        summary = run_episodes(_tasks(_square))
+        assert summary.jobs == 2
+        assert summary.results == [i * i for i in range(6)]
+
+
+class TestWorkerWarnings:
+    def test_retry_warning_carried_on_outcome(self):
+        summary = run_episodes(_tasks(_fails_below_bump, n=2))
+        for outcome in summary.outcomes:
+            assert any("retrying with bumped seed" in w
+                       for w in outcome.warnings)
+
+    def test_retry_warning_relogged_in_parent(self, caplog):
+        # The worker-side log record dies with a spawn worker; the
+        # parent must re-emit the warning when the outcome arrives.
+        with caplog.at_level("WARNING", logger="repro.harness.parallel"):
+            run_episodes(_tasks(_fails_below_bump, n=1), jobs=2)
+        assert any("retrying with bumped seed" in r.message
+                   for r in caplog.records)
+
+    def test_clean_episodes_carry_no_warnings(self):
+        summary = run_episodes(_tasks(_square, n=2))
+        assert all(o.warnings == [] for o in summary.outcomes)
