@@ -1,0 +1,194 @@
+"""Media Service application (DeathStarBench-style movie-review site).
+
+A movie reviewing and browsing service in the style of DeathStarBench's
+Media Service: users compose movie reviews (text, rating, movie lookup,
+de-duplication) that are persisted through a review-storage service and
+indexed per user and per movie, and browse movie pages that aggregate
+info, cast, plot, and recent reviews.  Backends are memcached/Redis
+caches over MongoDB, mirroring the original's composition.
+
+The topology is distinct from the paper's two applications: a
+compose/read split like Social Network but without ML filters or
+queueing tiers, and a wide read fan-out (the movie page aggregates four
+services) unlike Hotel Reservation's search chain.  It exists so
+multi-tenant experiments exercise three heterogeneous tenants; the
+27-tier DAG is a third point between the heavyweight Social Network
+(peaks around 450 users) and the lean Go hotel app (thousands of users).
+
+QoS is 300 ms on the end-to-end 99th percentile latency — between the
+two paper applications' targets, so the credit arbiter sees three
+different SLO tightnesses.
+"""
+
+from __future__ import annotations
+
+from repro.sim.graph import AppGraph, RequestType
+from repro.sim.tier import TierKind, TierSpec
+
+#: End-to-end p99 QoS target for Media Service (ms).
+MEDIA_QOS_MS = 300.0
+
+
+def _tiers() -> list[TierSpec]:
+    # Mid-weight services: heavier per request than the Go hotel tiers,
+    # lighter than the Thrift Social Network ones, so the interesting
+    # load range sits at a few hundred users.
+    front = dict(kind=TierKind.FRONTEND, cpu_per_req=0.0020, rss_base_mb=110.0,
+                 cache_mb=40.0, max_cpu=24.0)
+    logic = dict(kind=TierKind.LOGIC, cpu_per_req=0.0040, rss_base_mb=130.0,
+                 cache_mb=50.0, max_cpu=12.0)
+    cache = dict(kind=TierKind.CACHE, cpu_per_req=0.0010, rss_base_mb=650.0,
+                 cache_mb=70.0, max_cpu=10.0)
+    db = dict(kind=TierKind.DB, cpu_per_req=0.0060, rss_base_mb=420.0,
+              cache_mb=1600.0, min_cpu=0.4, max_cpu=12.0)
+    return [
+        TierSpec("nginx", **front),
+        TierSpec("composeReview", **logic),
+        TierSpec("uniqueId", **logic),
+        TierSpec("text", **logic),
+        TierSpec("user", **logic),
+        TierSpec("movieId", **logic),
+        TierSpec("rating", **logic),
+        TierSpec("reviewStorage", **{**logic, "max_cpu": 16.0}),
+        TierSpec("userReview", **logic),
+        TierSpec("movieReview", **logic),
+        TierSpec("page", **logic),
+        TierSpec("movieInfo", **logic),
+        TierSpec("castInfo", **logic),
+        TierSpec("plot", **logic),
+        TierSpec("movieId-mem$", **cache),
+        TierSpec("movieId-mongodb", **db),
+        TierSpec("rating-redis", **cache),
+        TierSpec("user-mongodb", **db),
+        TierSpec("reviewStorage-mem$", **{**cache, "max_cpu": 12.0}),
+        TierSpec("reviewStorage-mongodb", **db),
+        TierSpec("userReview-redis", **cache),
+        TierSpec("userReview-mongodb", **db),
+        TierSpec("movieReview-redis", **cache),
+        TierSpec("movieReview-mongodb", **db),
+        TierSpec("movieInfo-mongodb", **db),
+        TierSpec("castInfo-mongodb", **db),
+        TierSpec("plot-mongodb", **db),
+    ]
+
+
+def _edges() -> list[tuple[str, str]]:
+    return [
+        ("nginx", "composeReview"),
+        ("nginx", "page"),
+        ("nginx", "userReview"),
+        ("composeReview", "uniqueId"),
+        ("composeReview", "text"),
+        ("composeReview", "user"),
+        ("composeReview", "movieId"),
+        ("composeReview", "rating"),
+        ("composeReview", "reviewStorage"),
+        ("composeReview", "userReview"),
+        ("composeReview", "movieReview"),
+        ("movieId", "movieId-mem$"),
+        ("movieId", "movieId-mongodb"),
+        ("rating", "rating-redis"),
+        ("user", "user-mongodb"),
+        ("reviewStorage", "reviewStorage-mem$"),
+        ("reviewStorage", "reviewStorage-mongodb"),
+        ("userReview", "userReview-redis"),
+        ("userReview", "userReview-mongodb"),
+        ("userReview", "reviewStorage"),
+        ("movieReview", "movieReview-redis"),
+        ("movieReview", "movieReview-mongodb"),
+        ("movieReview", "reviewStorage"),
+        ("page", "movieInfo"),
+        ("page", "movieReview"),
+        ("page", "castInfo"),
+        ("page", "plot"),
+        ("movieInfo", "movieInfo-mongodb"),
+        ("castInfo", "castInfo-mongodb"),
+        ("plot", "plot-mongodb"),
+    ]
+
+
+def _request_types() -> list[RequestType]:
+    compose = RequestType(
+        name="ComposeReview",
+        stages=(
+            ("nginx",),
+            ("composeReview",),
+            ("uniqueId", "text", "user", "movieId", "rating"),
+            ("movieId-mem$", "movieId-mongodb", "rating-redis", "user-mongodb"),
+            ("reviewStorage",),
+            ("reviewStorage-mem$", "reviewStorage-mongodb"),
+            ("userReview", "movieReview"),
+            (
+                "userReview-redis",
+                "userReview-mongodb",
+                "movieReview-redis",
+                "movieReview-mongodb",
+            ),
+        ),
+        # Caches absorb most lookups; MongoDB tiers see only misses.
+        work={
+            "movieId-mongodb": 0.3,
+            "user-mongodb": 0.3,
+            "reviewStorage-mongodb": 0.8,
+            "userReview-mongodb": 0.4,
+            "movieReview-mongodb": 0.4,
+        },
+    )
+    read_page = RequestType(
+        name="ReadMoviePage",
+        stages=(
+            ("nginx",),
+            ("page",),
+            ("movieInfo", "movieReview", "castInfo", "plot"),
+            (
+                "movieInfo-mongodb",
+                "movieReview-redis",
+                "castInfo-mongodb",
+                "plot-mongodb",
+            ),
+            ("reviewStorage",),
+            ("reviewStorage-mem$", "reviewStorage-mongodb"),
+        ),
+        # A movie page fetches a page of recent reviews: several units
+        # of review-storage work, mostly served from memcached.
+        work={
+            "movieReview": 2.0,
+            "reviewStorage": 3.0,
+            "reviewStorage-mem$": 3.0,
+            "reviewStorage-mongodb": 0.5,
+            "movieInfo-mongodb": 0.4,
+            "castInfo-mongodb": 0.4,
+            "plot-mongodb": 0.4,
+        },
+    )
+    read_user = RequestType(
+        name="ReadUserReviews",
+        stages=(
+            ("nginx",),
+            ("userReview",),
+            ("userReview-redis", "userReview-mongodb"),
+            ("reviewStorage",),
+            ("reviewStorage-mem$", "reviewStorage-mongodb"),
+        ),
+        work={
+            "userReview": 2.0,
+            "userReview-mongodb": 0.4,
+            "reviewStorage": 3.0,
+            "reviewStorage-mem$": 3.0,
+            "reviewStorage-mongodb": 0.5,
+        },
+    )
+    return [compose, read_page, read_user]
+
+
+def media_service() -> AppGraph:
+    """Build the Media Service application graph (27 tiers)."""
+    return AppGraph(
+        name="media_service",
+        tiers=_tiers(),
+        edges=_edges(),
+        request_types=_request_types(),
+    )
+
+
+__all__ = ["media_service", "MEDIA_QOS_MS"]

@@ -13,6 +13,10 @@ Commands mirror the paper's workflow:
   seeded episode,
 * ``sweep``      — the Figure 11 protocol: managers x loads comparison,
 * ``resilience`` — fault profiles x managers sweep with recovery metrics,
+* ``multitenant`` — N apps sharing one finite cluster: per-tenant Sinan
+  schedulers under credit-based arbitration, compared against
+  equal-capacity static partitioning (exit 1 if credit loses the
+  aggregate-QoS-at-equal-CPU comparison),
 * ``explain``    — LIME-style tier/resource attribution for a model,
 * ``bench``      — fast-vs-reference micro-benchmarks: the per-decision
   scoring path (``BENCH_decision.json``), with ``--training`` the
@@ -45,7 +49,7 @@ import numpy as np
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--app",
-        choices=("social_network", "hotel_reservation"),
+        choices=("social_network", "hotel_reservation", "media_service"),
         default="social_network",
         help="application to manage",
     )
@@ -203,6 +207,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write harness metrics (episode counts/failures/durations): "
              "Prometheus text, or JSON when PATH ends in .json",
     )
+
+    multitenant = sub.add_parser(
+        "multitenant",
+        help="N tenants sharing one cluster: credit arbitration vs "
+             "equal static partitions",
+    )
+    multitenant.add_argument("--budget", default=None,
+                             help="pipeline budget: small / medium / large")
+    multitenant.add_argument("--seed", type=int, default=0)
+    multitenant.add_argument("--seeds", type=int, default=1, metavar="N",
+                             help="paired (credit, static) episode seeds")
+    multitenant.add_argument("--cluster-cpu", type=float, default=240.0,
+                             help="shared cluster CPU budget (cores)")
+    multitenant.add_argument("--duration", type=int, default=160)
+    multitenant.add_argument("--manager", default="sinan",
+                             choices=("sinan", "autoscale-opt",
+                                      "autoscale-cons", "powerchief"),
+                             help="per-tenant scheduler in the credit arm "
+                                  "(the static arm always uses static "
+                                  "provisioning)")
+    _add_jobs(multitenant)
+    _add_obs(multitenant)
 
     explain = sub.add_parser("explain", help="attribute tail latency to tiers")
     _add_common(explain)
@@ -519,6 +545,65 @@ def cmd_sweep(args) -> int:
     return 1 if len(summary.failures) == len(tasks) else 0
 
 
+def cmd_multitenant(args) -> int:
+    from repro.harness.multitenant import (
+        ARMS,
+        default_tenant_specs,
+        format_multitenant_report,
+        run_multitenant_episode,
+        sweep_multitenant,
+    )
+    from repro.harness.pipeline import get_trained_predictor
+
+    specs = default_tenant_specs(manager=args.manager)
+    predictors = {}
+    if args.manager == "sinan":
+        predictors = {
+            spec.app: get_trained_predictor(
+                spec.app, args.budget, jobs=args.jobs
+            )
+            for spec in specs
+        }
+    seeds = [args.seed + 1009 * k for k in range(max(args.seeds, 1))]
+    recorder = _make_cli_recorder(args)
+    if recorder is not None:
+        # Obs artifacts need in-process episodes (the recorder cannot
+        # cross worker boundaries); only the credit arm is instrumented
+        # so the metrics/audit export is not a two-arm mixture.
+        results = []
+        for s in seeds:
+            for arm in ARMS:
+                results.append(run_multitenant_episode(
+                    specs, args.cluster_cpu, args.duration, seed=s,
+                    arbiter=arm, predictors=predictors,
+                    pipeline_budget=args.budget,
+                    recorder=recorder if arm == "credit" else None,
+                ))
+    else:
+        results = sweep_multitenant(
+            specs, args.cluster_cpu, args.duration, seeds=seeds,
+            predictors=predictors, pipeline_budget=args.budget,
+            jobs=args.jobs,
+        )
+    print(format_multitenant_report(results))
+
+    credit = [r for r in results if r.arbiter == "credit"]
+    static = [r for r in results if r.arbiter == "static"]
+    credit_qos = float(np.mean([r.aggregate_qos_fraction for r in credit]))
+    static_qos = float(np.mean([r.aggregate_qos_fraction for r in static]))
+    credit_cpu = float(np.mean([r.mean_cluster_cpu for r in credit]))
+    static_cpu = float(np.mean([r.mean_cluster_cpu for r in static]))
+    contended = float(np.mean([r.contended_fraction for r in credit]))
+    ok = credit_qos + 1e-9 >= static_qos and credit_cpu <= static_cpu + 1e-6
+    print(f"credit vs static: P(QoS) {credit_qos:.3f} vs {static_qos:.3f}, "
+          f"mean cluster CPU {credit_cpu:.1f} vs {static_cpu:.1f} cores "
+          f"(budget {args.cluster_cpu:g}, contended "
+          f"{contended:.0%} of intervals) -> "
+          f"{'OK' if ok else 'REGRESSION'}")
+    _write_obs_artifacts(args, recorder)
+    return 0 if ok else 1
+
+
 def cmd_explain(args) -> int:
     from repro.core.interpret import LimeExplainer
     from repro.harness.pipeline import (
@@ -789,6 +874,7 @@ def main(argv: list[str] | None = None) -> int:
         "retrain": cmd_retrain,
         "sweep": cmd_sweep,
         "resilience": cmd_resilience,
+        "multitenant": cmd_multitenant,
         "explain": cmd_explain,
         "bench": cmd_bench,
         "audit": cmd_audit,

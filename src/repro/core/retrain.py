@@ -425,6 +425,14 @@ class ShadowReport:
     calibration_samples: int
     """Finite (predicted, measured) pairs behind the challenger MAE."""
 
+    challenger_mean_total_cpu: float = float("nan")
+    """Mean total CPU (cores) the challenger *would have* allocated per
+    shadow decision (NaN before any decision was shadowed)."""
+
+    incumbent_mean_total_cpu: float = float("nan")
+    """Mean total CPU the incumbent actually allocated over the same
+    shadow window — the efficiency baseline."""
+
     @property
     def challenger_misprediction_rate(self) -> float:
         return self.challenger_mispredictions / max(self.intervals, 1)
@@ -468,6 +476,8 @@ class ShadowEvaluator:
         self._prev_ch_pred = float("nan")
         self._inc_err = [0.0, 0]  # (sum, count)
         self._ch_err = [0.0, 0]
+        self._inc_cpu = [0.0, 0]  # (total cores, decisions)
+        self._ch_cpu = [0.0, 0]
 
     def observe(self, log, incumbent_alloc):
         """Shadow one decision; returns a divergence record or ``None``.
@@ -502,6 +512,10 @@ class ShadowEvaluator:
             incumbent_alloc, dtype=float
         )
         ch_eff = current if ch_alloc is None else np.asarray(ch_alloc, dtype=float)
+        self._inc_cpu[0] += float(np.nansum(inc_eff))
+        self._inc_cpu[1] += 1
+        self._ch_cpu[0] += float(np.nansum(ch_eff))
+        self._ch_cpu[1] += 1
         if np.array_equal(inc_eff, ch_eff):
             return None
         record = DivergenceRecord(
@@ -545,6 +559,14 @@ class ShadowEvaluator:
             challenger_mae_ms=mae(self._ch_err),
             incumbent_mae_ms=mae(self._inc_err),
             calibration_samples=self._ch_err[1],
+            challenger_mean_total_cpu=(
+                self._ch_cpu[0] / self._ch_cpu[1]
+                if self._ch_cpu[1] else float("nan")
+            ),
+            incumbent_mean_total_cpu=(
+                self._inc_cpu[0] / self._inc_cpu[1]
+                if self._inc_cpu[1] else float("nan")
+            ),
         )
 
 
@@ -578,6 +600,13 @@ class PromotionGate:
     min_calibration_samples: int = 5
     """Pairs required before the MAE comparison is trusted."""
 
+    max_cpu_regression: float = 0.05
+    """Tolerated efficiency regression: the challenger's would-be mean
+    allocated CPU may exceed the incumbent's over the same shadow
+    window by at most this fraction.  A model that meets QoS only by
+    allocating more hardware is not an improvement — the paper's whole
+    objective is meeting QoS with the *fewest* resources."""
+
     def judge(self, report: ShadowReport) -> GateDecision:
         metrics = {
             "intervals": report.intervals,
@@ -586,6 +615,8 @@ class PromotionGate:
             "challenger_fallback_rate": report.challenger_fallback_rate,
             "challenger_mae_ms": report.challenger_mae_ms,
             "incumbent_mae_ms": report.incumbent_mae_ms,
+            "challenger_mean_total_cpu": report.challenger_mean_total_cpu,
+            "incumbent_mean_total_cpu": report.incumbent_mean_total_cpu,
         }
         if report.intervals < self.min_intervals:
             return GateDecision(False, "shadow-too-short", metrics)
@@ -601,6 +632,14 @@ class PromotionGate:
             > self.max_mae_ratio * report.incumbent_mae_ms
         ):
             return GateDecision(False, "calibration-no-better", metrics)
+        if (
+            np.isfinite(report.challenger_mean_total_cpu)
+            and np.isfinite(report.incumbent_mean_total_cpu)
+            and report.incumbent_mean_total_cpu > 0
+            and report.challenger_mean_total_cpu
+            > (1.0 + self.max_cpu_regression) * report.incumbent_mean_total_cpu
+        ):
+            return GateDecision(False, "cpu-regression", metrics)
         return GateDecision(True, "ok", metrics)
 
 

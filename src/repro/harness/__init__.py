@@ -27,6 +27,14 @@ from repro.harness.pipeline import (
     build_sinan_pipeline,
     resolve_budget,
 )
+from repro.harness.multitenant import (
+    MultiTenantResult,
+    TenantResult,
+    default_tenant_specs,
+    format_multitenant_report,
+    run_multitenant_episode,
+    sweep_multitenant,
+)
 from repro.harness.reporting import format_table, format_series
 from repro.harness.resilience import (
     ResilienceResult,
@@ -60,6 +68,12 @@ __all__ = [
     "resolve_budget",
     "format_table",
     "format_series",
+    "MultiTenantResult",
+    "TenantResult",
+    "default_tenant_specs",
+    "format_multitenant_report",
+    "run_multitenant_episode",
+    "sweep_multitenant",
     "ResilienceResult",
     "format_resilience_report",
     "run_resilience_episode",

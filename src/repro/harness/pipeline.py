@@ -50,8 +50,10 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.apps import (
     HOTEL_QOS_MS,
+    MEDIA_QOS_MS,
     SOCIAL_QOS_MS,
     hotel_reservation,
+    media_service,
     social_network,
 )
 from repro.core.data_collection import (
@@ -73,7 +75,7 @@ from repro.sim.cluster import (
 from repro.sim.faults import FaultInjector, FaultProfile, resolve_profile
 from repro.sim.graph import AppGraph
 from repro.workload.generator import RequestMix, Workload
-from repro.workload.mixes import hotel_mix, social_mix
+from repro.workload.mixes import hotel_mix, media_mix, social_mix
 from repro.workload.patterns import ConstantLoad, LoadPattern
 
 logger = logging.getLogger(__name__)
@@ -170,6 +172,14 @@ _APP_SPECS: dict[str, AppSpec] = {
         mix_factory=hotel_mix,
         fig11_loads=(1000, 1300, 1600, 1900, 2200, 2500, 2800, 3100, 3400, 3700),
         collection_load_range=(800, 3900),
+    ),
+    "media_service": AppSpec(
+        name="media_service",
+        graph_factory=media_service,
+        qos=QoSTarget(MEDIA_QOS_MS),
+        mix_factory=media_mix,
+        fig11_loads=(100, 200, 300, 400, 500, 600, 700, 800, 900),
+        collection_load_range=(80, 950),
     ),
 }
 

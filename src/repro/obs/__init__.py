@@ -21,6 +21,7 @@ to collect everything for one episode.
 """
 
 from repro.obs.audit import (
+    ArbitrationRecord,
     AuditLog,
     AuditRecord,
     DivergenceRecord,
@@ -40,11 +41,13 @@ from repro.obs.recorder import (
     NULL_RECORDER,
     ActiveRecorder,
     Recorder,
+    TenantRecorder,
     attach_recorder,
 )
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
+    "ArbitrationRecord",
     "AuditLog",
     "AuditRecord",
     "DivergenceRecord",
@@ -59,6 +62,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Recorder",
     "ActiveRecorder",
+    "TenantRecorder",
     "NULL_RECORDER",
     "attach_recorder",
     "Span",

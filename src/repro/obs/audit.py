@@ -83,6 +83,10 @@ class AuditRecord:
     chosen_alloc: tuple[float, ...] = field(default_factory=tuple)
     """Per-tier cores of the chosen allocation (empty when holding)."""
 
+    tenant: str | None = None
+    """Owning tenant in a multi-tenant run (``None`` = single-tenant).
+    Stamped by :class:`~repro.obs.recorder.TenantRecorder`."""
+
     def to_json(self) -> dict:
         out = asdict(self)
         out["chosen_alloc"] = list(self.chosen_alloc)
@@ -121,6 +125,8 @@ class DivergenceRecord:
     challenger_total_cpu: float
     incumbent_predicted_p99_ms: float = float("nan")
     challenger_predicted_p99_ms: float = float("nan")
+    tenant: str | None = None
+    """Owning tenant in a multi-tenant run (``None`` = single-tenant)."""
 
     def to_json(self) -> dict:
         out = asdict(self)
@@ -155,6 +161,9 @@ class ModelEventRecord:
     detail: str = ""
     """Free-form context (gate metrics, signal values)."""
 
+    tenant: str | None = None
+    """Owning tenant in a multi-tenant run (``None`` = single-tenant)."""
+
     def to_json(self) -> dict:
         out = asdict(self)
         out["record"] = "model-event"
@@ -166,11 +175,65 @@ class ModelEventRecord:
         return ModelEventRecord(**data)
 
 
+@dataclass(frozen=True)
+class ArbitrationRecord:
+    """One cluster-level arbitration decision across all tenants.
+
+    Emitted by the multi-tenant :class:`~repro.tenancy.CreditArbiter`
+    once per decision interval: what each tenant demanded, what it was
+    granted against the shared CPU budget, and the credit balances the
+    grants were weighted by.  The per-tenant arrays are aligned with
+    :attr:`tenants`.
+    """
+
+    interval: int
+    """Decision interval the arbitration resolved (0-based)."""
+
+    time: float
+    """Simulation time (seconds) of the arbitrated interval."""
+
+    budget_cpu: float
+    """Cluster-wide CPU budget (cores) the requests competed for."""
+
+    total_demand: float
+    """Sum of the tenants' desired aggregate allocations."""
+
+    total_granted: float
+    """Sum of the granted aggregate allocations."""
+
+    contended: bool
+    """Whether demand exceeded the budget this interval."""
+
+    mode: str
+    """How the interval was resolved (``uncontended`` /
+    ``weighted-drf`` / ``knapsack``)."""
+
+    tenants: tuple[str, ...] = field(default_factory=tuple)
+    demands: tuple[float, ...] = field(default_factory=tuple)
+    grants: tuple[float, ...] = field(default_factory=tuple)
+    credits: tuple[float, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> dict:
+        out = asdict(self)
+        out["record"] = "arbitration"
+        for key in ("tenants", "demands", "grants", "credits"):
+            out[key] = list(out[key])
+        return out
+
+    @staticmethod
+    def from_json(data: dict) -> "ArbitrationRecord":
+        data = {k: v for k, v in data.items() if k != "record"}
+        for key in ("tenants", "demands", "grants", "credits"):
+            data[key] = tuple(data.get(key) or ())
+        return ArbitrationRecord(**data)
+
+
 #: JSONL dispatch: the ``record`` tag names the dataclass; plain decision
 #: records carry no tag (backward compatible with pre-tag exports).
 _RECORD_TYPES = {
     "divergence": DivergenceRecord,
     "model-event": ModelEventRecord,
+    "arbitration": ArbitrationRecord,
 }
 
 
@@ -227,6 +290,10 @@ class AuditLog:
     def model_events(self) -> list[ModelEventRecord]:
         """Only the model-lifecycle records, oldest to newest."""
         return [r for r in self._records if isinstance(r, ModelEventRecord)]
+
+    def arbitrations(self) -> list[ArbitrationRecord]:
+        """Only the multi-tenant arbitration records, oldest to newest."""
+        return [r for r in self._records if isinstance(r, ArbitrationRecord)]
 
     def find(self, interval: int) -> AuditRecord | None:
         for record in self._records:
@@ -332,6 +399,17 @@ def format_audit_table(records: list) -> str:
                 f"{r.interval:>5} {r.time:>6.0f}   * model v{r.version} "
                 f"{r.event}{why}"
             )
+        elif isinstance(r, ArbitrationRecord):
+            shares = ", ".join(
+                f"{name}={grant:.0f}/{demand:.0f}"
+                for name, grant, demand in zip(r.tenants, r.grants, r.demands)
+            )
+            mode = f"{r.mode}, contended" if r.contended else r.mode
+            lines.append(
+                f"{r.interval:>5} {r.time:>6.0f}   # arbiter "
+                f"{r.total_granted:.0f}/{r.total_demand:.0f} of "
+                f"{r.budget_cpu:.0f} cores ({mode}): {shares}"
+            )
         else:
             lines.append(
                 f"{r.interval:>5} {r.time:>6.0f} {r.measured_p99_ms:>8.1f} "
@@ -346,6 +424,7 @@ __all__ = [
     "AuditRecord",
     "DivergenceRecord",
     "ModelEventRecord",
+    "ArbitrationRecord",
     "AuditLog",
     "explain",
     "format_audit_table",

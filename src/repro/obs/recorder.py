@@ -132,6 +132,61 @@ class ActiveRecorder(Recorder):
         return self.tracer is not None and self.tracer.sampled(index)
 
 
+class TenantRecorder(Recorder):
+    """Per-tenant view of a shared recorder.
+
+    Multi-tenant runs attach one of these to each tenant's manager,
+    scheduler, predictor, and cluster: every metric the component
+    reports gains a ``tenant=<name>`` label, spans land on a
+    tenant-prefixed track, and audit records that carry a ``tenant``
+    field are stamped with the tenant id before they reach the shared
+    :class:`~repro.obs.audit.AuditLog`.  The underlying pillars are the
+    base recorder's, so one export holds every tenant, separable by
+    label.
+    """
+
+    def __init__(self, base: Recorder, tenant: str) -> None:
+        self.base = base
+        self.tenant = tenant
+        self.enabled = base.enabled
+        self.metrics = base.metrics
+        self.tracer = base.tracer
+        self.audit_log = base.audit_log
+
+    def counter(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        labels.setdefault("tenant", self.tenant)
+        self.base.counter(name, amount, **labels)
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        labels.setdefault("tenant", self.tenant)
+        self.base.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, buckets=DEFAULT_BUCKETS,
+                **labels: str) -> None:
+        labels.setdefault("tenant", self.tenant)
+        self.base.observe(name, value, buckets, **labels)
+
+    def observe_many(self, name: str, values, buckets=DEFAULT_BUCKETS,
+                     **labels: str) -> None:
+        labels.setdefault("tenant", self.tenant)
+        self.base.observe_many(name, values, buckets, **labels)
+
+    def span(self, name: str, start_s: float, duration_s: float,
+             track: str = "main", cat: str = "", args: dict | None = None) -> None:
+        self.base.span(name, start_s, duration_s,
+                       track=f"{self.tenant}/{track}", cat=cat, args=args)
+
+    def audit(self, record) -> None:
+        if getattr(record, "tenant", "set") is None:
+            import dataclasses
+
+            record = dataclasses.replace(record, tenant=self.tenant)
+        self.base.audit(record)
+
+    def sampled(self, index: int) -> bool:
+        return self.base.sampled(index)
+
+
 def attach_recorder(
     recorder: Recorder,
     manager=None,
@@ -162,4 +217,10 @@ def attach_recorder(
     return recorder
 
 
-__all__ = ["Recorder", "ActiveRecorder", "NULL_RECORDER", "attach_recorder"]
+__all__ = [
+    "Recorder",
+    "ActiveRecorder",
+    "TenantRecorder",
+    "NULL_RECORDER",
+    "attach_recorder",
+]

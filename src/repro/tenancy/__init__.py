@@ -1,0 +1,50 @@
+"""Multi-tenant shared cluster: credit-based arbitration across apps.
+
+Single-tenant Sinan answers "how few cores does *this* app need to meet
+QoS?".  This subsystem asks the follow-on question a shared cluster
+forces: when N independently-managed applications want more CPU than
+the cluster has, who gets it?
+
+* :mod:`repro.tenancy.credit` — per-tenant credit balances: accrue
+  with declared SLO tightness, decay with QoS violations, spent when
+  winning contended cores.
+* :mod:`repro.tenancy.arbiter` — the :class:`CreditArbiter` resolving
+  per-interval requests (credit-weighted DRF when even hold levels
+  overflow; knapsack admission of atomic scale-ups otherwise), plus
+  the :class:`StaticPartitionArbiter` baseline.
+* :mod:`repro.tenancy.tenant` — a :class:`Tenant` bundling one app
+  topology, workload pattern, QoS target, and its own scheduler.
+* :mod:`repro.tenancy.simulator` — the :class:`MultiTenantSimulator`
+  stepping all tenants in lockstep against the shared budget.
+
+The harness entry points are
+:func:`repro.harness.multitenant.run_multitenant_episode` and
+``repro multitenant`` on the CLI.
+"""
+
+from repro.tenancy.arbiter import (
+    QUANTUM_CPU,
+    AllocationRequest,
+    ArbiterDecision,
+    CreditArbiter,
+    StaticPartitionArbiter,
+    TenantGrant,
+)
+from repro.tenancy.credit import CreditConfig, CreditLedger
+from repro.tenancy.simulator import MultiTenantSimulator
+from repro.tenancy.tenant import Tenant, TenantSpec, build_tenant
+
+__all__ = [
+    "QUANTUM_CPU",
+    "AllocationRequest",
+    "ArbiterDecision",
+    "CreditArbiter",
+    "StaticPartitionArbiter",
+    "TenantGrant",
+    "CreditConfig",
+    "CreditLedger",
+    "MultiTenantSimulator",
+    "Tenant",
+    "TenantSpec",
+    "build_tenant",
+]

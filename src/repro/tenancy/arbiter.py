@@ -1,0 +1,333 @@
+"""Credit-based arbitration of per-interval CPU requests.
+
+Once per decision interval every tenant's own Sinan (or baseline)
+scheduler proposes an allocation for *its* application; the arbiter
+resolves those proposals against the finite cluster budget.  Three
+regimes, from loose to tight:
+
+* **uncontended** — total demand fits the budget: grant everything.
+* **knapsack** — every tenant can *hold* its current operating point
+  (the ``keep`` level) but not every scale-up fits: scale-up deltas are
+  admitted whole-or-nothing by a 0/1 knapsack over the leftover budget,
+  valued by credit (boosted for tenants violating QoS right now).
+  Partial scale-ups are deliberately not granted — the per-tenant model
+  predicted the *requested* allocation meets QoS; a fraction of it
+  carries no such prediction.
+* **weighted-drf** — even the keeps overflow the budget: grants
+  water-fill between each tenant's floor (sum of per-tier minimums)
+  and its keep level, weighted by credit.  With CPU the only arbitrated
+  resource, credit-weighted DRF reduces to weighted max-min fairness.
+
+Determinism contract: the arbiter draws one permutation from its own
+seeded generator on *every* call — contended or not — so its RNG
+schedule never depends on workload behaviour.  The permutation breaks
+ties (knapsack item order); all other arithmetic is closed-form.  Two
+runs with the same seeds are bit-identical regardless of worker
+fan-out, and faults confined to one tenant cannot perturb another
+tenant's random streams through the arbiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.audit import ArbitrationRecord
+from repro.tenancy.credit import CreditConfig, CreditLedger
+
+#: Scale-up deltas are admitted in whole multiples of this many cores.
+QUANTUM_CPU = 0.5
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One tenant's per-interval ask, as seen by the arbiter."""
+
+    tenant: str
+    demand: float
+    """Total CPU the tenant's scheduler wants next interval."""
+
+    keep: float
+    """CPU needed to hold the current operating point (no scale-up)."""
+
+    floor: float
+    """Sum of the application's per-tier minimum allocations."""
+
+    violating: bool = False
+    """Did the tenant miss its QoS target in the latest interval?"""
+
+
+@dataclass(frozen=True)
+class TenantGrant:
+    """The arbiter's answer to one request."""
+
+    tenant: str
+    demand: float
+    grant: float
+    credit: float
+    """Credit balance after this interval's settlement."""
+
+
+@dataclass(frozen=True)
+class ArbiterDecision:
+    """Outcome of one arbitration round across all tenants."""
+
+    interval: int
+    time: float
+    budget_cpu: float
+    mode: str
+    contended: bool
+    grants: dict[str, TenantGrant]
+
+    @property
+    def total_demand(self) -> float:
+        return sum(g.demand for g in self.grants.values())
+
+    @property
+    def total_granted(self) -> float:
+        return sum(g.grant for g in self.grants.values())
+
+    def record(self) -> ArbitrationRecord:
+        """The decision as a typed audit record."""
+        names = tuple(sorted(self.grants))
+        return ArbitrationRecord(
+            interval=self.interval,
+            time=self.time,
+            budget_cpu=self.budget_cpu,
+            total_demand=round(self.total_demand, 6),
+            total_granted=round(self.total_granted, 6),
+            contended=self.contended,
+            mode=self.mode,
+            tenants=names,
+            demands=tuple(round(self.grants[n].demand, 6) for n in names),
+            grants=tuple(round(self.grants[n].grant, 6) for n in names),
+            credits=tuple(round(self.grants[n].credit, 6) for n in names),
+        )
+
+
+def _water_fill(caps: np.ndarray, weights: np.ndarray, total: float) -> np.ndarray:
+    """Weighted max-min: split ``total`` by ``weights``, capped per item.
+
+    Iteratively gives each unsaturated item its weighted share of what
+    remains; items whose cap binds are frozen at the cap and the rest
+    re-divided.  Closed-form per round, terminates in <= n rounds, and
+    independent of item order — no tie-breaking needed.
+    """
+    grant = np.zeros_like(caps)
+    active = caps > 1e-12
+    remaining = float(total)
+    while remaining > 1e-9 and active.any():
+        share = remaining * weights * active / float(weights[active].sum())
+        over = active & (grant + share >= caps - 1e-12)
+        if not over.any():
+            grant += share
+            break
+        remaining -= float((caps[over] - grant[over]).sum())
+        grant[over] = caps[over]
+        active &= ~over
+    return grant
+
+
+def _knapsack_admit(
+    deltas: np.ndarray, values: np.ndarray, capacity: float
+) -> np.ndarray:
+    """0/1 knapsack: admit whole scale-up deltas maximizing total value.
+
+    Deltas are quantized to :data:`QUANTUM_CPU`-core items.  Classic DP
+    with first-wins tie-breaking: on equal value the earlier item (in
+    the caller's — permuted — order) keeps its slot, so the caller's
+    seeded permutation is the only tie-breaker.  Returns a boolean
+    admit mask in the caller's order.
+    """
+    n = len(deltas)
+    weights = np.maximum(np.ceil(deltas / QUANTUM_CPU - 1e-9).astype(int), 1)
+    cap = int(capacity / QUANTUM_CPU + 1e-9)
+    admitted = np.zeros(n, dtype=bool)
+    if cap <= 0 or n == 0:
+        return admitted
+    best = np.full(cap + 1, -1.0)
+    best[0] = 0.0
+    take = np.zeros((n, cap + 1), dtype=bool)
+    for i in range(n):
+        w, v = weights[i], values[i]
+        if w > cap:
+            continue
+        # Descending so each item is used at most once; strict > keeps
+        # the earlier (permuted) item on value ties.
+        for c in range(cap, w - 1, -1):
+            if best[c - w] >= 0 and best[c - w] + v > best[c]:
+                best[c] = best[c - w] + v
+                take[i, c] = True
+    c = int(np.argmax(best))
+    for i in range(n - 1, -1, -1):
+        if take[i, c]:
+            admitted[i] = True
+            c -= weights[i]
+    return admitted
+
+
+class CreditArbiter:
+    """Resolve conflicting tenant requests against one CPU budget.
+
+    Owns a :class:`~repro.tenancy.credit.CreditLedger` (balances evolve
+    with every :meth:`arbitrate` call) and a private seeded generator
+    used only for tie-breaking.
+    """
+
+    name = "credit"
+
+    def __init__(
+        self,
+        budget_cpu: float,
+        qos_ms: dict[str, float],
+        config: CreditConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if budget_cpu <= 0:
+            raise ValueError("budget_cpu must be positive")
+        self.budget_cpu = float(budget_cpu)
+        self.ledger = CreditLedger.from_qos(qos_ms, config)
+        self._seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    def reset(self, seed: int | None = None) -> None:
+        """Fresh episode: reopen the ledger and reseed the generator."""
+        if seed is not None:
+            self._seed = seed
+        self.rng = np.random.default_rng(self._seed)
+        self.ledger.reset()
+
+    def arbitrate(
+        self,
+        requests: list[AllocationRequest],
+        interval: int,
+        time: float,
+    ) -> ArbiterDecision:
+        """Grant CPU for one interval across all tenants."""
+        if not requests:
+            raise ValueError("arbitrate needs at least one request")
+        # Drawn unconditionally so RNG consumption is independent of
+        # contention (see the module determinism contract).
+        order = self.rng.permutation(len(requests))
+
+        floors = np.array([r.floor for r in requests])
+        demands = np.maximum(np.array([r.demand for r in requests]), floors)
+        keeps = np.clip(np.array([r.keep for r in requests]), floors, demands)
+        violating = np.array([r.violating for r in requests])
+        weights = np.array([
+            self.ledger.effective_weight(r.tenant, r.violating)
+            for r in requests
+        ])
+
+        budget = self.budget_cpu
+        if floors.sum() > budget + 1e-9:
+            raise ValueError(
+                f"cluster budget {budget:.1f} cannot cover tenant floors "
+                f"({floors.sum():.1f} cores)"
+            )
+
+        if demands.sum() <= budget + 1e-9:
+            mode, contended = "uncontended", False
+            grants = demands.copy()
+        elif keeps.sum() > budget + 1e-9:
+            mode, contended = "weighted-drf", True
+            grants = floors + _water_fill(
+                keeps - floors, weights, budget - floors.sum()
+            )
+        else:
+            mode, contended = "knapsack", True
+            grants = keeps.copy()
+            deltas = demands - keeps
+            candidates = order[deltas[order] > 1e-9]
+            if candidates.size:
+                admit = _knapsack_admit(
+                    deltas[candidates], weights[candidates],
+                    budget - keeps.sum(),
+                )
+                grants[candidates[admit]] = demands[candidates[admit]]
+
+        fair = budget / len(requests)
+        overdraw = (
+            {r.tenant: float(grants[i] - fair)
+             for i, r in enumerate(requests) if grants[i] > fair}
+            if contended else None
+        )
+        self.ledger.settle(
+            violating=[r.tenant for i, r in enumerate(requests) if violating[i]],
+            overdraw=overdraw,
+        )
+        credits = self.ledger.snapshot()
+        return ArbiterDecision(
+            interval=interval,
+            time=time,
+            budget_cpu=budget,
+            mode=mode,
+            contended=contended,
+            grants={
+                r.tenant: TenantGrant(
+                    tenant=r.tenant,
+                    demand=float(demands[i]),
+                    grant=float(grants[i]),
+                    credit=credits[r.tenant],
+                )
+                for i, r in enumerate(requests)
+            },
+        )
+
+
+class StaticPartitionArbiter:
+    """Equal-capacity static partitioning — the baseline arbiter.
+
+    Every tenant owns ``budget / n_tenants`` cores outright; requests
+    are granted up to that slice and never beyond, regardless of what
+    the neighbours are doing.  This is what operators get today by
+    carving a shared cluster into fixed per-team quotas.
+    """
+
+    name = "static"
+
+    def __init__(self, budget_cpu: float, n_tenants: int) -> None:
+        if budget_cpu <= 0 or n_tenants <= 0:
+            raise ValueError("need positive budget and tenant count")
+        self.budget_cpu = float(budget_cpu)
+        self.slice_cpu = float(budget_cpu) / n_tenants
+
+    def reset(self, seed: int | None = None) -> None:
+        """Stateless — nothing to reset."""
+
+    def arbitrate(
+        self,
+        requests: list[AllocationRequest],
+        interval: int,
+        time: float,
+    ) -> ArbiterDecision:
+        """Grant each tenant up to its fixed slice."""
+        if not requests:
+            raise ValueError("arbitrate needs at least one request")
+        return ArbiterDecision(
+            interval=interval,
+            time=time,
+            budget_cpu=self.budget_cpu,
+            mode="static",
+            contended=False,
+            grants={
+                r.tenant: TenantGrant(
+                    tenant=r.tenant,
+                    demand=float(max(r.demand, r.floor)),
+                    grant=float(min(max(r.demand, r.floor), self.slice_cpu)),
+                    credit=0.0,
+                )
+                for r in requests
+            },
+        )
+
+
+__all__ = [
+    "QUANTUM_CPU",
+    "AllocationRequest",
+    "TenantGrant",
+    "ArbiterDecision",
+    "CreditArbiter",
+    "StaticPartitionArbiter",
+]

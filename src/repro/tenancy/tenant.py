@@ -1,0 +1,171 @@
+"""One tenant: an application, its workload, its QoS, its scheduler.
+
+A :class:`Tenant` packages everything that belongs to a single team on
+the shared cluster — the app topology, the load pattern it faces, the
+QoS target it declared, and its *own* per-tenant Sinan (or baseline)
+manager.  The tenant's manager is unaware it is sharing hardware: it
+proposes allocations exactly as in single-tenant operation, the
+:class:`~repro.tenancy.arbiter.CreditArbiter` decides how much of the
+proposal is granted, and the tenant scales its proposal down onto the
+grant before stepping its simulator.
+
+Scaling a proposal to a grant interpolates every tier between its
+minimum floor and the proposed level by the same fraction — the same
+shape :meth:`~repro.sim.cluster.ClusterSimulator.clip_alloc` uses for a
+platform ceiling, so a grant reduction degrades all tiers evenly
+instead of zeroing whichever tier happens to be last.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.manager import Manager
+from repro.core.qos import QoSTarget
+from repro.sim.cluster import LOCAL_PLATFORM, ClusterSimulator
+from repro.sim.faults import FaultProfile
+from repro.sim.graph import AppGraph
+from repro.tenancy.arbiter import AllocationRequest
+from repro.workload.patterns import LoadPattern
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative description of one tenant (picklable)."""
+
+    name: str
+    app: str
+    """Application name from the harness registry (``social_network``,
+    ``hotel_reservation``, ``media_service``)."""
+
+    pattern: LoadPattern
+    """Workload the tenant faces over the episode."""
+
+    manager: str = "sinan"
+    """Per-tenant scheduler, by harness name."""
+
+    qos_ms: float | None = None
+    """QoS target override; ``None`` uses the app's paper target."""
+
+    fault_profile: str | FaultProfile | None = None
+    """Optional chaos profile injected into *this tenant only*."""
+
+
+class Tenant:
+    """A running tenant: spec + graph + manager + private simulator."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        graph: AppGraph,
+        qos: QoSTarget,
+        manager: Manager,
+        cluster: ClusterSimulator,
+        seed: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.graph = graph
+        self.qos = qos
+        self.manager = manager
+        self.cluster = cluster
+        self.seed = seed
+        self._min_vec = graph.min_alloc()
+        self.floor = float(self._min_vec.sum())
+        self._desired: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Fresh episode: manager state cleared, and — when the build
+        seed is known — the cluster rewound to its seeded start, so
+        rerunning the same tenant set is bit-identical."""
+        self.manager.reset()
+        if self.seed is not None:
+            self.cluster.reset(self.seed)
+        self._desired = None
+
+    def request(self) -> AllocationRequest:
+        """Ask the tenant's scheduler and phrase its answer for the arbiter.
+
+        The manager sees the cluster's *observed* telemetry (so a fault
+        profile corrupting this tenant's view behaves exactly as in
+        single-tenant runs); the ``violating`` flag scores ground truth,
+        since the arbiter plays the role of the cluster operator.
+        """
+        desired = self.manager.decide(self.cluster.observed)
+        if desired is None:
+            desired = self.cluster.current_alloc.copy()
+        desired = self.cluster.clip_alloc(np.asarray(desired, dtype=float))
+        self._desired = desired
+        demand = float(desired.sum())
+        current = float(self.cluster.current_alloc.sum())
+        log = self.cluster.telemetry
+        violating = len(log) > 0 and self.qos.violated(log.latest)
+        return AllocationRequest(
+            tenant=self.name,
+            demand=demand,
+            keep=min(demand, current),
+            floor=self.floor,
+            violating=violating,
+        )
+
+    def apply(self, grant: float) -> None:
+        """Scale the pending proposal onto ``grant`` cores and step."""
+        if self._desired is None:
+            raise RuntimeError("apply() without a preceding request()")
+        desired = self._desired
+        self._desired = None
+        total = float(desired.sum())
+        if grant < total - 1e-9:
+            span = total - self.floor
+            ratio = 0.0 if span <= 1e-12 else (grant - self.floor) / span
+            ratio = min(max(ratio, 0.0), 1.0)
+            desired = self._min_vec + (desired - self._min_vec) * ratio
+        self.cluster.step(desired)
+
+
+def build_tenant(
+    spec: TenantSpec,
+    budget_cpu: float,
+    seed: int = 0,
+    predictor=None,
+    pipeline_budget=None,
+    jobs: int | None = None,
+) -> Tenant:
+    """Construct a runnable :class:`Tenant` from its spec.
+
+    The tenant's private simulator gets a platform whose ``total_cpu``
+    is the *shared* cluster budget (or the tenant's fixed slice, for
+    the static-partitioning baseline), so the arbiter — not the
+    platform clip — is the binding constraint.  ``sinan`` tenants train
+    (or load from cache) their own predictor unless one is passed in.
+    """
+    from repro.harness.pipeline import (
+        app_spec,
+        get_trained_predictor,
+        make_cluster,
+        make_manager,
+    )
+
+    aspec = app_spec(spec.app)
+    graph = aspec.graph_factory()
+    qos = aspec.qos if spec.qos_ms is None else QoSTarget(spec.qos_ms)
+    platform = dataclasses.replace(LOCAL_PLATFORM, total_cpu=float(budget_cpu))
+    cluster = make_cluster(
+        graph,
+        users=spec.pattern.users(0.0),
+        seed=seed,
+        platform=platform,
+        pattern=spec.pattern,
+        fault_profile=spec.fault_profile,
+        fault_seed=seed,
+    )
+    if spec.manager == "sinan" and predictor is None:
+        predictor = get_trained_predictor(spec.app, pipeline_budget, jobs=jobs)
+    manager = make_manager(spec.manager, graph, qos, predictor)
+    return Tenant(spec, graph, qos, manager, cluster, seed=seed)
+
+
+__all__ = ["TenantSpec", "Tenant", "build_tenant"]

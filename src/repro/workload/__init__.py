@@ -15,7 +15,7 @@ from repro.workload.patterns import (
     TraceLoad,
 )
 from repro.workload.generator import Workload, RequestMix
-from repro.workload.mixes import SOCIAL_MIXES, social_mix, hotel_mix
+from repro.workload.mixes import SOCIAL_MIXES, social_mix, hotel_mix, media_mix
 
 __all__ = [
     "LoadPattern",
@@ -29,4 +29,5 @@ __all__ = [
     "SOCIAL_MIXES",
     "social_mix",
     "hotel_mix",
+    "media_mix",
 ]

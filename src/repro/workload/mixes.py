@@ -46,4 +46,12 @@ def hotel_mix() -> RequestMix:
     )
 
 
-__all__ = ["SOCIAL_MIXES", "social_mix", "hotel_mix"]
+def media_mix() -> RequestMix:
+    """Media Service default mix (browse-dominated, like the
+    DeathStarBench movie-review workload)."""
+    return RequestMix.from_ratios(
+        {"ComposeReview": 10.0, "ReadMoviePage": 65.0, "ReadUserReviews": 25.0}
+    )
+
+
+__all__ = ["SOCIAL_MIXES", "social_mix", "hotel_mix", "media_mix"]

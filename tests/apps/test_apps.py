@@ -5,10 +5,12 @@ import pytest
 
 from repro.apps import (
     HOTEL_QOS_MS,
+    MEDIA_QOS_MS,
     SOCIAL_QOS_MS,
     RedisLogSync,
     encrypted_posts_variant,
     hotel_reservation,
+    media_service,
     scaled_replicas_variant,
     social_network,
 )
@@ -23,6 +25,11 @@ def social():
 @pytest.fixture(scope="module")
 def hotel():
     return hotel_reservation()
+
+
+@pytest.fixture(scope="module")
+def media():
+    return media_service()
 
 
 class TestSocialNetwork:
@@ -92,6 +99,36 @@ class TestHotelReservation:
 
     def test_all_tiers_reachable(self, hotel):
         assert np.all(hotel.visit_matrix.sum(axis=0) > 0)
+
+
+class TestMediaService:
+    def test_tier_count(self, media):
+        assert media.n_tiers == 27
+
+    def test_qos_between_paper_apps(self):
+        assert MEDIA_QOS_MS == 300.0
+        assert HOTEL_QOS_MS < MEDIA_QOS_MS < SOCIAL_QOS_MS
+
+    def test_request_types(self, media):
+        assert set(media.type_names) == {
+            "ComposeReview", "ReadMoviePage", "ReadUserReviews"
+        }
+
+    def test_movie_page_aggregates_four_services(self, media):
+        page = media.request_type("ReadMoviePage")
+        for svc in ("movieInfo", "castInfo", "plot", "movieReview"):
+            assert svc in page.tiers
+
+    def test_frontend_and_backends(self, media):
+        assert media.tiers[media.index["nginx"]].kind is TierKind.FRONTEND
+        kinds = {t.kind for t in media.tiers}
+        assert TierKind.CACHE in kinds and TierKind.DB in kinds
+
+    def test_all_tiers_reachable(self, media):
+        visited = media.visit_matrix.sum(axis=0)
+        assert np.all(visited > 0), [
+            media.tier_names[i] for i in np.flatnonzero(visited == 0)
+        ]
 
 
 class TestVariants:

@@ -304,6 +304,47 @@ class TestPromotionGate:
         )
         assert decision.promote
 
+    def test_cpu_regression_rejected(self):
+        decision = PromotionGate().judge(report_with(
+            challenger_mean_total_cpu=120.0,
+            incumbent_mean_total_cpu=100.0,
+        ))
+        assert not decision.promote
+        assert decision.reason == "cpu-regression"
+        assert decision.metrics["challenger_mean_total_cpu"] == 120.0
+
+    def test_cpu_within_tolerance_promotes(self):
+        decision = PromotionGate().judge(report_with(
+            challenger_mean_total_cpu=104.0,
+            incumbent_mean_total_cpu=100.0,
+        ))
+        assert decision.promote
+
+    def test_cpu_regression_tolerance_is_configurable(self):
+        gate = PromotionGate(max_cpu_regression=0.5)
+        decision = gate.judge(report_with(
+            challenger_mean_total_cpu=120.0,
+            incumbent_mean_total_cpu=100.0,
+        ))
+        assert decision.promote
+
+    def test_missing_cpu_samples_skip_cpu_check(self):
+        # Default report carries NaN CPU means (legacy reports, or a
+        # shadow that never observed a decision) — not a rejection.
+        decision = PromotionGate().judge(report_with())
+        assert decision.promote
+
+    def test_shadow_report_tracks_cpu_means(self):
+        incumbent = make_scheduler(StubPredictor())
+        shadow = ShadowEvaluator(StubPredictor(), incumbent, version=2)
+        for _ in range(3):
+            log = make_log(p99=100.0)
+            shadow.observe(log, incumbent.decide(log))
+        report = shadow.report()
+        assert np.isfinite(report.challenger_mean_total_cpu)
+        assert np.isfinite(report.incumbent_mean_total_cpu)
+        assert report.incumbent_mean_total_cpu > 0
+
     def test_decision_is_dataclass(self):
         assert GateDecision(True, "ok").metrics == {}
 

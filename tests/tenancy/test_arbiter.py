@@ -1,0 +1,232 @@
+"""Unit tests for the credit arbiter (repro.tenancy.arbiter)."""
+
+import numpy as np
+import pytest
+
+from repro.obs.audit import ArbitrationRecord, record_from_json
+from repro.tenancy.arbiter import (
+    QUANTUM_CPU,
+    AllocationRequest,
+    CreditArbiter,
+    StaticPartitionArbiter,
+    _knapsack_admit,
+    _water_fill,
+)
+from repro.tenancy.credit import CreditConfig
+
+QOS = {"a": 500.0, "b": 200.0, "c": 300.0}
+
+
+def req(tenant, demand, keep=None, floor=2.0, violating=False):
+    return AllocationRequest(
+        tenant=tenant,
+        demand=demand,
+        keep=demand if keep is None else keep,
+        floor=floor,
+        violating=violating,
+    )
+
+
+def make_arbiter(budget=100.0, seed=0, **config) -> CreditArbiter:
+    cfg = CreditConfig(**config) if config else None
+    return CreditArbiter(budget, QOS, config=cfg, seed=seed)
+
+
+class TestWaterFill:
+    def test_splits_by_weight_when_uncapped(self):
+        grant = _water_fill(np.array([100.0, 100.0]), np.array([1.0, 3.0]), 40.0)
+        assert grant == pytest.approx([10.0, 30.0])
+
+    def test_caps_bind_and_surplus_reflows(self):
+        grant = _water_fill(np.array([5.0, 100.0]), np.array([1.0, 1.0]), 40.0)
+        assert grant == pytest.approx([5.0, 35.0])
+
+    def test_conserves_total(self):
+        caps = np.array([10.0, 20.0, 30.0])
+        grant = _water_fill(caps, np.array([1.0, 2.0, 0.5]), 45.0)
+        assert grant.sum() == pytest.approx(45.0)
+        assert np.all(grant <= caps + 1e-9)
+
+    def test_total_exceeding_caps_saturates(self):
+        caps = np.array([10.0, 20.0])
+        grant = _water_fill(caps, np.array([1.0, 1.0]), 100.0)
+        assert grant == pytest.approx(caps)
+
+
+class TestKnapsackAdmit:
+    def test_prefers_higher_value(self):
+        admit = _knapsack_admit(
+            np.array([10.0, 10.0]), np.array([1.0, 5.0]), 10.0
+        )
+        assert admit.tolist() == [False, True]
+
+    def test_packs_multiple_when_they_fit(self):
+        admit = _knapsack_admit(
+            np.array([4.0, 4.0, 10.0]), np.array([1.0, 1.0, 1.5]), 9.0
+        )
+        assert admit.tolist() == [True, True, False]
+
+    def test_atomic_deltas_never_split(self):
+        admit = _knapsack_admit(np.array([12.0]), np.array([1.0]), 10.0)
+        assert admit.tolist() == [False]
+
+    def test_zero_capacity_admits_nothing(self):
+        admit = _knapsack_admit(np.array([1.0]), np.array([1.0]), 0.0)
+        assert admit.tolist() == [False]
+
+    def test_first_wins_on_value_tie(self):
+        admit = _knapsack_admit(
+            np.array([QUANTUM_CPU, QUANTUM_CPU]), np.array([1.0, 1.0]),
+            QUANTUM_CPU,
+        )
+        assert admit.tolist() == [True, False]
+
+
+class TestCreditArbiter:
+    def test_uncontended_grants_everything(self):
+        arb = make_arbiter(budget=100.0)
+        d = arb.arbitrate([req("a", 30.0), req("b", 40.0), req("c", 20.0)],
+                          interval=0, time=0.0)
+        assert d.mode == "uncontended" and not d.contended
+        assert d.grants["a"].grant == pytest.approx(30.0)
+        assert d.total_granted == pytest.approx(90.0)
+
+    def test_knapsack_mode_holds_keeps_and_admits_whole_deltas(self):
+        arb = make_arbiter(budget=100.0)
+        d = arb.arbitrate(
+            [req("a", 60.0, keep=40.0), req("b", 60.0, keep=40.0)],
+            interval=0, time=0.0,
+        )
+        assert d.mode == "knapsack" and d.contended
+        grants = sorted(g.grant for g in d.grants.values())
+        # One tenant's +20 scale-up fits the 20 leftover cores; the
+        # other holds at keep — no partial scale-up.
+        assert grants == pytest.approx([40.0, 60.0])
+
+    def test_drf_mode_waterfills_between_floor_and_keep(self):
+        arb = make_arbiter(budget=50.0)
+        d = arb.arbitrate(
+            [req("a", 60.0, keep=60.0), req("b", 60.0, keep=60.0)],
+            interval=0, time=0.0,
+        )
+        assert d.mode == "weighted-drf" and d.contended
+        assert d.total_granted == pytest.approx(50.0)
+        for g in d.grants.values():
+            assert g.grant >= 2.0 - 1e-9
+
+    def test_violating_tenant_wins_contention(self):
+        arb = make_arbiter(budget=100.0, urgency_boost=10.0)
+        # Leftover after keeps is 20 cores; each +20 delta fits alone,
+        # so the knapsack must pick the (boosted) violating tenant.
+        d = arb.arbitrate(
+            [req("a", 60.0, keep=40.0, violating=True),
+             req("b", 60.0, keep=40.0)],
+            interval=0, time=0.0,
+        )
+        assert d.grants["a"].grant == pytest.approx(60.0)
+        assert d.grants["b"].grant == pytest.approx(40.0)
+
+    def test_floors_always_respected_under_drf(self):
+        arb = make_arbiter(budget=30.0)
+        d = arb.arbitrate(
+            [req("a", 100.0, floor=10.0), req("b", 100.0, floor=5.0),
+             req("c", 100.0, floor=5.0)],
+            interval=0, time=0.0,
+        )
+        assert d.grants["a"].grant >= 10.0 - 1e-9
+        assert d.grants["b"].grant >= 5.0 - 1e-9
+
+    def test_budget_below_floors_raises(self):
+        arb = make_arbiter(budget=10.0)
+        with pytest.raises(ValueError, match="floors"):
+            arb.arbitrate([req("a", 20.0, floor=8.0), req("b", 20.0, floor=8.0)],
+                          interval=0, time=0.0)
+
+    def test_empty_requests_rejected(self):
+        with pytest.raises(ValueError):
+            make_arbiter().arbitrate([], interval=0, time=0.0)
+
+    def test_credits_settle_each_interval(self):
+        arb = make_arbiter(budget=200.0)
+        d0 = arb.arbitrate([req("a", 30.0), req("b", 30.0, violating=True),
+                            req("c", 30.0)], interval=0, time=0.0)
+        # b accrues fastest (tightest QoS) but decayed for violating.
+        assert d0.grants["c"].credit > 1.0
+        assert arb.ledger.credit("b") == d0.grants["b"].credit
+
+    def test_same_seed_same_decisions(self):
+        reqs = [req("a", 60.0, keep=40.0), req("b", 60.0, keep=40.0),
+                req("c", 60.0, keep=40.0)]
+        traces = []
+        for _ in range(2):
+            arb = make_arbiter(budget=140.0, seed=7)
+            traces.append([
+                tuple(sorted((n, g.grant, g.credit)
+                             for n, g in arb.arbitrate(
+                                 list(reqs), interval=i, time=float(i)
+                             ).grants.items()))
+                for i in range(20)
+            ])
+        assert traces[0] == traces[1]
+
+    def test_reset_restores_rng_and_ledger(self):
+        arb = make_arbiter(budget=140.0, seed=3)
+        reqs = [req("a", 60.0, keep=40.0), req("b", 60.0, keep=40.0),
+                req("c", 60.0, keep=40.0)]
+        first = [arb.arbitrate(list(reqs), i, float(i)).grants["a"].grant
+                 for i in range(10)]
+        arb.reset()
+        second = [arb.arbitrate(list(reqs), i, float(i)).grants["a"].grant
+                  for i in range(10)]
+        assert first == second
+
+    def test_rng_consumed_even_when_uncontended(self):
+        # The tie-break draw happens every call, so RNG state does not
+        # depend on whether earlier intervals were contended.
+        contended_first = make_arbiter(budget=100.0, seed=11)
+        contended_first.arbitrate(
+            [req("a", 80.0, keep=50.0), req("b", 80.0, keep=50.0)], 0, 0.0)
+        quiet_first = make_arbiter(budget=100.0, seed=11)
+        quiet_first.arbitrate([req("a", 10.0), req("b", 10.0)], 0, 0.0)
+        probe = [req("a", 80.0, keep=50.0), req("b", 80.0, keep=50.0)]
+        d1 = contended_first.arbitrate(list(probe), 1, 1.0)
+        d2 = quiet_first.arbitrate(list(probe), 1, 1.0)
+        assert {n: g.grant for n, g in d1.grants.items()} == \
+               {n: g.grant for n, g in d2.grants.items()}
+
+
+class TestStaticPartitionArbiter:
+    def test_equal_slices(self):
+        arb = StaticPartitionArbiter(90.0, 3)
+        assert arb.slice_cpu == pytest.approx(30.0)
+        d = arb.arbitrate([req("a", 50.0), req("b", 10.0), req("c", 30.0)],
+                          interval=0, time=0.0)
+        assert d.mode == "static" and not d.contended
+        assert d.grants["a"].grant == pytest.approx(30.0)
+        assert d.grants["b"].grant == pytest.approx(10.0)
+        assert d.grants["c"].grant == pytest.approx(30.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StaticPartitionArbiter(0.0, 3)
+        with pytest.raises(ValueError):
+            StaticPartitionArbiter(90.0, 0)
+
+
+class TestArbitrationRecord:
+    def test_decision_to_record_roundtrips_json(self):
+        arb = make_arbiter(budget=70.0)
+        d = arb.arbitrate([req("a", 60.0, keep=40.0), req("b", 60.0, keep=40.0),
+                           req("c", 10.0)], interval=4, time=4.0)
+        r = d.record()
+        assert isinstance(r, ArbitrationRecord)
+        assert r.tenants == ("a", "b", "c")
+        restored = record_from_json(r.to_json())
+        assert restored == r
+
+    def test_record_totals_match_decision(self):
+        arb = make_arbiter(budget=100.0)
+        d = arb.arbitrate([req("a", 30.0), req("b", 20.0)], 0, 0.0)
+        r = d.record()
+        assert r.total_granted == pytest.approx(d.total_granted)
+        assert r.budget_cpu == 100.0

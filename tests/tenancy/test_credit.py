@@ -1,0 +1,92 @@
+"""Unit tests for the credit economy (repro.tenancy.credit)."""
+
+import pytest
+
+from repro.tenancy.credit import CreditConfig, CreditLedger
+
+
+def make_ledger(**config) -> CreditLedger:
+    return CreditLedger.from_qos(
+        {"a": 500.0, "b": 200.0}, CreditConfig(**config)
+    )
+
+
+class TestCreditConfig:
+    def test_defaults_valid(self):
+        CreditConfig()
+
+    def test_rejects_bad_clamps(self):
+        with pytest.raises(ValueError):
+            CreditConfig(min_credit=0.0)
+        with pytest.raises(ValueError):
+            CreditConfig(min_credit=2.0, max_credit=1.0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            CreditConfig(violation_decay=0.0)
+        with pytest.raises(ValueError):
+            CreditConfig(violation_decay=1.5)
+
+
+class TestCreditLedger:
+    def test_tightness_normalized_to_unit_mean(self):
+        ledger = make_ledger()
+        mean = sum(ledger.tightness.values()) / len(ledger.tightness)
+        assert mean == pytest.approx(1.0)
+        # b's 200 ms target is tighter than a's 500 ms.
+        assert ledger.tightness["b"] > ledger.tightness["a"]
+
+    def test_opening_balance(self):
+        ledger = make_ledger(base_credit=2.0)
+        assert ledger.credit("a") == 2.0
+        assert ledger.snapshot() == {"a": 2.0, "b": 2.0}
+
+    def test_accrual_scales_with_tightness(self):
+        ledger = make_ledger()
+        ledger.settle()
+        assert ledger.credit("b") > ledger.credit("a") > 1.0
+
+    def test_violation_decays(self):
+        ledger = make_ledger(accrual_rate=0.0)
+        ledger.settle(violating=["a"])
+        assert ledger.credit("a") < 1.0
+        assert ledger.credit("b") == pytest.approx(1.0)
+
+    def test_overdraw_spends(self):
+        ledger = make_ledger(accrual_rate=0.0, spend_rate=0.01)
+        ledger.settle(overdraw={"a": 10.0})
+        assert ledger.credit("a") == pytest.approx(0.9)
+        assert ledger.credit("b") == pytest.approx(1.0)
+
+    def test_negative_overdraw_ignored(self):
+        ledger = make_ledger(accrual_rate=0.0)
+        ledger.settle(overdraw={"a": -5.0})
+        assert ledger.credit("a") == pytest.approx(1.0)
+
+    def test_clamped_to_bounds(self):
+        ledger = make_ledger(accrual_rate=0.0, spend_rate=1.0,
+                             min_credit=0.2, max_credit=1.5)
+        for _ in range(10):
+            ledger.settle(overdraw={"a": 100.0})
+        assert ledger.credit("a") == pytest.approx(0.2)
+        ledger2 = make_ledger(accrual_rate=5.0, max_credit=1.5)
+        for _ in range(10):
+            ledger2.settle()
+        assert ledger2.credit("a") == pytest.approx(1.5)
+
+    def test_urgency_boost(self):
+        ledger = make_ledger(urgency_boost=3.0)
+        assert ledger.effective_weight("a", violating=True) == pytest.approx(3.0)
+        assert ledger.effective_weight("a", violating=False) == pytest.approx(1.0)
+
+    def test_reset_restores_opening_balance(self):
+        ledger = make_ledger()
+        ledger.settle(violating=["a"], overdraw={"b": 50.0})
+        ledger.reset()
+        assert ledger.snapshot() == {"a": 1.0, "b": 1.0}
+
+    def test_empty_ledger_rejected(self):
+        with pytest.raises(ValueError):
+            CreditLedger.from_qos({})
+        with pytest.raises(ValueError):
+            CreditLedger({})

@@ -91,6 +91,17 @@ class TestParser:
         assert not args.require_promotion
         assert args.audit_out is None  # obs flags available
 
+    def test_multitenant_defaults(self):
+        args = _build_parser().parse_args(["multitenant"])
+        assert args.cluster_cpu == 240.0
+        assert args.duration == 160
+        assert args.manager == "sinan"
+        assert args.seeds == 1
+        assert args.jobs is None
+        assert args.audit_out is None  # obs flags available
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["multitenant", "--manager", "nope"])
+
     def test_audit_subcommand(self):
         args = _build_parser().parse_args(
             ["audit", "a.jsonl", "--interval", "7", "--qos", "500"]
@@ -153,6 +164,36 @@ class TestExecution:
         assert code == 0
         assert "episodes in" in out
         assert "ERR" not in out
+
+    def test_multitenant_episode(self, capsys):
+        code = main([
+            "multitenant", "--manager", "autoscale-cons",
+            "--duration", "30", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "credit vs static" in out
+        for tenant in ("social", "hotel", "media"):
+            assert tenant in out
+
+    def test_multitenant_obs_artifacts(self, tmp_path, capsys):
+        metrics = tmp_path / "mt.json"
+        audit = tmp_path / "mt.jsonl"
+        code = main([
+            "multitenant", "--manager", "autoscale-cons",
+            "--cluster-cpu", "170", "--duration", "30",
+            "--metrics-out", str(metrics), "--audit-out", str(audit),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        dump = json.loads(metrics.read_text())
+        samples = dump["tenant_cpu_granted"]["samples"]
+        assert {s["labels"]["tenant"] for s in samples} >= {
+            "social", "hotel", "media"
+        }
+        kinds = {json.loads(line).get("record") for line in
+                 audit.read_text().splitlines()}
+        assert "arbitration" in kinds
 
 
 class TestObservabilityArtifacts:

@@ -13,13 +13,19 @@ PUBLIC_API = {
         "LOCAL_PLATFORM", "GCE_PLATFORM", "CapacityFault",
     ],
     "repro.apps": [
-        "social_network", "hotel_reservation", "SOCIAL_QOS_MS",
-        "HOTEL_QOS_MS", "RedisLogSync", "encrypted_posts_variant",
-        "scaled_replicas_variant",
+        "social_network", "hotel_reservation", "media_service",
+        "SOCIAL_QOS_MS", "HOTEL_QOS_MS", "MEDIA_QOS_MS", "RedisLogSync",
+        "encrypted_posts_variant", "scaled_replicas_variant",
     ],
     "repro.workload": [
         "Workload", "RequestMix", "ConstantLoad", "StepLoad", "DiurnalLoad",
         "RampLoad", "TraceLoad", "SOCIAL_MIXES", "social_mix", "hotel_mix",
+        "media_mix",
+    ],
+    "repro.tenancy": [
+        "TenantSpec", "Tenant", "build_tenant", "CreditConfig",
+        "CreditLedger", "AllocationRequest", "TenantGrant", "ArbiterDecision",
+        "CreditArbiter", "StaticPartitionArbiter", "MultiTenantSimulator",
     ],
     "repro.ml": [
         "SinanDataset", "LatencyScaler", "MSELoss", "ScaledMSELoss",
@@ -39,6 +45,9 @@ PUBLIC_API = {
         "run_episode", "sweep_loads", "EpisodeResult",
         "build_sinan_pipeline", "get_trained_predictor", "format_table",
         "run_episodes", "resolve_jobs", "EpisodeTask", "RunSummary",
+        "run_multitenant_episode", "sweep_multitenant",
+        "default_tenant_specs", "format_multitenant_report",
+        "MultiTenantResult", "TenantResult",
     ],
 }
 
